@@ -1,0 +1,331 @@
+package searchmem
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one Benchmark per experiment id), measures the substrates themselves,
+// and runs the ablation studies called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks share one full-scale context (workload builds and
+// hit-rate curves are cached), so the first benchmark to run pays the build
+// cost. Custom metrics carry the reproduced headline numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"searchmem/internal/cache"
+	"searchmem/internal/cpu"
+	"searchmem/internal/experiments"
+	"searchmem/internal/stats"
+	"searchmem/internal/trace"
+	"searchmem/internal/workload"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+)
+
+// benchContext returns the shared full-scale experiment context.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		opts := experiments.Full()
+		benchCtx = experiments.NewContext(opts)
+	})
+	return benchCtx
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	ctx := benchContext(b)
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res.Render())
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkFig2a(b *testing.B)  { benchExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B)  { benchExperiment(b, "fig2b") }
+func BenchmarkFig2c(b *testing.B)  { benchExperiment(b, "fig2c") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B)  { benchExperiment(b, "fig6c") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig8a(b *testing.B)  { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+
+// --- substrate microbenchmarks ---
+
+// leafTrace materializes a reusable access trace from a shrunken leaf.
+var (
+	leafTraceOnce sync.Once
+	leafTrace     []trace.Access
+)
+
+func benchLeafTrace(b *testing.B) []trace.Access {
+	b.Helper()
+	leafTraceOnce.Do(func() {
+		r := workload.S1Leaf(16).Build()
+		r.Run(2, 1_500_000, 1, workload.Sinks{Access: func(a trace.Access) {
+			leafTrace = append(leafTrace, a)
+		}})
+	})
+	return leafTrace
+}
+
+// BenchmarkHierarchyAccess measures raw simulator throughput
+// (accesses/second through L1+L2+L3).
+func BenchmarkHierarchyAccess(b *testing.B) {
+	tr := benchLeafTrace(b)
+	h := NewHierarchy(HierarchyConfig{
+		Cores: 2, ThreadsPerCore: 1,
+		L1I: CacheConfig{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L1D: CacheConfig{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L2:  CacheConfig{Size: 256 << 10, BlockSize: 64, Assoc: 8},
+		L3:  CacheConfig{Size: 4 << 20, BlockSize: 64, Assoc: 16},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(tr[i%len(tr)])
+	}
+}
+
+// BenchmarkStackDist measures the one-pass reuse profiler.
+func BenchmarkStackDist(b *testing.B) {
+	tr := benchLeafTrace(b)
+	sd := NewStackDist(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sd.Observe(tr[i%len(tr)])
+	}
+}
+
+// BenchmarkEngineQuery measures end-to-end instrumented query execution.
+func BenchmarkEngineQuery(b *testing.B) {
+	space := NewSpace(func(Access) {})
+	cfg := DefaultEngineConfig()
+	cfg.Corpus.NumDocs = 20000
+	cfg.Corpus.VocabSize = 30000
+	eng := BuildEngine(cfg, space, nil)
+	sess := eng.NewSession(0, nil)
+	rng := stats.NewRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.Execute([]uint32{uint32(rng.Intn(30000)), uint32(rng.Intn(30000))})
+	}
+}
+
+// BenchmarkTraceCodec measures trace serialization.
+func BenchmarkTraceCodec(b *testing.B) {
+	tr := benchLeafTrace(b)
+	w, _ := trace.NewWriter(discard{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(tr[i%len(tr)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkGshare measures branch-predictor throughput.
+func BenchmarkGshare(b *testing.B) {
+	p := cpu.NewGshare(14)
+	rng := stats.NewRNG(3)
+	pcs := make([]uint64, 1024)
+	outs := make([]bool, 1024)
+	for i := range pcs {
+		pcs[i] = rng.Uint64n(1 << 20)
+		outs[i] = rng.Bool(0.7)
+	}
+	s := cpu.PredictorStats{P: p}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(cpu.Branch{PC: pcs[i%1024], Taken: outs[i%1024]})
+	}
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// ablationHitRate replays the leaf trace through an L3 variant and reports
+// its hit rate.
+func ablationHitRate(b *testing.B, mutate func(*cache.HierarchyConfig)) {
+	tr := benchLeafTrace(b)
+	cfg := cache.HierarchyConfig{
+		Cores: 2, ThreadsPerCore: 1,
+		L1I:         cache.Config{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L1D:         cache.Config{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L2:          cache.Config{Size: 256 << 10, BlockSize: 64, Assoc: 8},
+		L3:          cache.Config{Size: 1 << 20, BlockSize: 64, Assoc: 16},
+		L3Inclusive: true,
+	}
+	mutate(&cfg)
+	b.ResetTimer()
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		h := cache.NewHierarchy(cfg)
+		for _, a := range tr {
+			h.Access(a)
+		}
+		hit = h.L3Stats().HitRate()
+	}
+	b.ReportMetric(hit, "L3-hit-rate")
+}
+
+// BenchmarkAblationReplacementLRU/FIFO/Random quantify the replacement
+// policy choice (the paper's simulator uses LRU everywhere).
+func BenchmarkAblationReplacementLRU(b *testing.B) {
+	ablationHitRate(b, func(c *cache.HierarchyConfig) { c.L3.Policy = cache.LRU })
+}
+
+// BenchmarkAblationReplacementFIFO is the FIFO variant.
+func BenchmarkAblationReplacementFIFO(b *testing.B) {
+	ablationHitRate(b, func(c *cache.HierarchyConfig) { c.L3.Policy = cache.FIFO })
+}
+
+// BenchmarkAblationReplacementRandom is the random variant.
+func BenchmarkAblationReplacementRandom(b *testing.B) {
+	ablationHitRate(b, func(c *cache.HierarchyConfig) { c.L3.Policy = cache.Random })
+}
+
+// BenchmarkAblationInclusiveL3 vs NonInclusive quantifies the inclusion
+// back-invalidation cost the paper notes for PLT1.
+func BenchmarkAblationInclusiveL3(b *testing.B) {
+	ablationHitRate(b, func(c *cache.HierarchyConfig) { c.L3Inclusive = true })
+}
+
+// BenchmarkAblationNonInclusiveL3 is the non-inclusive variant.
+func BenchmarkAblationNonInclusiveL3(b *testing.B) {
+	ablationHitRate(b, func(c *cache.HierarchyConfig) { c.L3Inclusive = false })
+}
+
+// ablationL4 replays the trace with an L4 variant and reports the L4 hit
+// rate and DRAM filter rate.
+func ablationL4(b *testing.B, fillOnMiss bool, assoc int) {
+	tr := benchLeafTrace(b)
+	cfg := cache.HierarchyConfig{
+		Cores: 2, ThreadsPerCore: 1,
+		L1I:          cache.Config{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L1D:          cache.Config{Size: 32 << 10, BlockSize: 64, Assoc: 8},
+		L2:           cache.Config{Size: 256 << 10, BlockSize: 64, Assoc: 8},
+		L3:           cache.Config{Size: 512 << 10, BlockSize: 64, Assoc: 16},
+		L4:           &cache.Config{Size: 8 << 20, BlockSize: 64, Assoc: assoc},
+		L4FillOnMiss: fillOnMiss,
+	}
+	b.ResetTimer()
+	var hit float64
+	for i := 0; i < b.N; i++ {
+		h := cache.NewHierarchy(cfg)
+		for _, a := range tr {
+			h.Access(a)
+		}
+		hit = h.L4Stats().HitRate()
+	}
+	b.ReportMetric(hit, "L4-hit-rate")
+}
+
+// BenchmarkAblationL4VictimFill is the paper's design: the L4 fills from L3
+// evictions.
+func BenchmarkAblationL4VictimFill(b *testing.B) { ablationL4(b, false, 1) }
+
+// BenchmarkAblationL4FillOnMiss fills the L4 on memory fetches instead.
+func BenchmarkAblationL4FillOnMiss(b *testing.B) { ablationL4(b, true, 1) }
+
+// BenchmarkAblationL4DirectMapped vs FullyAssociative bound the conflict
+// cost of the paper's direct-mapped choice (Figure 14 "Associative").
+func BenchmarkAblationL4DirectMapped(b *testing.B) { ablationL4(b, false, 1) }
+
+// BenchmarkAblationL4FullyAssociative is the fully-associative variant.
+func BenchmarkAblationL4FullyAssociative(b *testing.B) { ablationL4(b, false, 0) }
+
+// BenchmarkAblationL4LookupOverlap quantifies the parallel tag-lookup
+// design through the AMAT model: serializing the lookup adds its penalty to
+// every miss.
+func BenchmarkAblationL4LookupOverlap(b *testing.B) {
+	var parallel, serial float64
+	for i := 0; i < b.N; i++ {
+		parallel = AMATWithL4(0.6, 0.8, 14.4, 40, 65, 0)
+		serial = AMATWithL4(0.6, 0.8, 14.4, 40, 65, 5)
+	}
+	b.ReportMetric(parallel, "AMAT-parallel-ns")
+	b.ReportMetric(serial, "AMAT-serial-ns")
+}
+
+// branchStream materializes a reusable branch trace from the leaf workload.
+var (
+	branchOnce   sync.Once
+	branchStream []cpu.Branch
+)
+
+func benchBranchStream(b *testing.B) []cpu.Branch {
+	b.Helper()
+	branchOnce.Do(func() {
+		r := workload.S1Leaf(16).Build()
+		r.Run(1, 600_000, 1, workload.Sinks{
+			Branch: func(_ uint8, pc uint64, taken bool) {
+				branchStream = append(branchStream, cpu.Branch{PC: pc, Taken: taken})
+			},
+		})
+	})
+	return branchStream
+}
+
+// ablationPredictor reports a predictor's mispredict rate on the leaf
+// branch stream (the paper's branch-MPKI axis, Table I).
+func ablationPredictor(b *testing.B, mk func() cpu.Predictor) {
+	br := benchBranchStream(b)
+	b.ResetTimer()
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		s := cpu.PredictorStats{P: mk()}
+		for _, x := range br {
+			s.Observe(x)
+		}
+		rate = 1 - s.Accuracy()
+	}
+	b.ReportMetric(rate*100, "mispredict-%")
+}
+
+// BenchmarkAblationPredictorBimodal/Gshare/Tournament compare direction
+// predictors on the search branch stream.
+func BenchmarkAblationPredictorBimodal(b *testing.B) {
+	ablationPredictor(b, func() cpu.Predictor { return cpu.NewBimodal(14) })
+}
+
+// BenchmarkAblationPredictorGshare is the gshare variant.
+func BenchmarkAblationPredictorGshare(b *testing.B) {
+	ablationPredictor(b, func() cpu.Predictor { return cpu.NewGshare(14) })
+}
+
+// BenchmarkAblationPredictorTournament is the tournament variant.
+func BenchmarkAblationPredictorTournament(b *testing.B) {
+	ablationPredictor(b, func() cpu.Predictor { return cpu.NewTournament(14) })
+}

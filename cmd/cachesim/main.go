@@ -1,0 +1,123 @@
+// Command cachesim replays a binary trace file (produced by cmd/tracegen)
+// through a configurable cache hierarchy and prints per-level, per-segment
+// statistics — the standalone trace-driven simulator of the paper's §III-A
+// methodology.
+//
+// Usage:
+//
+//	cachesim -trace leaf.smtr -l3 45 -ways 20
+//	cachesim -trace leaf.smtr -l3 23 -l4 1024 -scale 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"searchmem/internal/cache"
+	"searchmem/internal/trace"
+)
+
+func main() {
+	var (
+		path    = flag.String("trace", "", "trace file from tracegen")
+		cores   = flag.Int("cores", 1, "simulated cores")
+		smt     = flag.Int("smt", 1, "threads per core")
+		l1      = flag.Int64("l1", 32, "L1 size KiB (I and D each)")
+		l2      = flag.Int64("l2", 256, "L2 size KiB")
+		l3      = flag.Int64("l3", 45, "L3 size MiB")
+		ways    = flag.Int("ways", 0, "CAT: allocatable L3 ways (0 = all 20)")
+		l4      = flag.Int64("l4", 0, "optional L4 size MiB (0 = none)")
+		scale   = flag.Int64("scale", 1, "divide all capacities by this factor")
+		block   = flag.Int("block", 64, "block size bytes")
+		incl    = flag.Bool("inclusive", true, "inclusive L3")
+		instrKI = flag.Int64("instructions", 0, "instruction count for MPKI (0 = per-access rates only)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "usage: cachesim -trace <file> [flags]")
+		os.Exit(2)
+	}
+
+	div := func(v int64) int64 {
+		out := v / *scale
+		if out < int64(*block) {
+			out = int64(*block)
+		}
+		return out
+	}
+	cfg := cache.HierarchyConfig{
+		Cores:          *cores,
+		ThreadsPerCore: *smt,
+		L1I:            cache.Config{Name: "L1-I", Size: div(*l1 << 10), BlockSize: *block, Assoc: 8},
+		L1D:            cache.Config{Name: "L1-D", Size: div(*l1 << 10), BlockSize: *block, Assoc: 8},
+		L2:             cache.Config{Name: "L2", Size: div(*l2 << 10), BlockSize: *block, Assoc: 8},
+		L3:             cache.Config{Name: "L3", Size: div(*l3 << 20), BlockSize: *block, Assoc: 20, AllocWays: *ways},
+		L3Inclusive:    *incl,
+	}
+	// Keep way divisibility after scaling.
+	for _, c := range []*cache.Config{&cfg.L1I, &cfg.L1D, &cfg.L2, &cfg.L3} {
+		blocks := c.Size / int64(c.BlockSize)
+		if blocks%int64(c.Assoc) != 0 {
+			c.Assoc = 8
+			blocks -= blocks % 8
+			if blocks < 8 {
+				blocks = 8
+			}
+			c.Size = blocks * int64(c.BlockSize)
+		}
+	}
+	if *l4 > 0 {
+		cfg.L4 = &cache.Config{Name: "L4", Size: div(*l4 << 20), BlockSize: *block, Assoc: 1}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h := cache.NewHierarchy(cfg)
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var n int64
+	var a trace.Access
+	for r.Next(&a) {
+		h.Access(a)
+		n++
+	}
+	if err := r.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("replayed %d accesses\n\n", n)
+	report := func(name string, s cache.AccessStats) {
+		fmt.Printf("%-5s hit %6.2f%%  hits %12d  misses %12d", name, 100*s.HitRate(), s.TotalHits(), s.TotalMisses())
+		if *instrKI > 0 {
+			fmt.Printf("  MPKI %7.2f", s.MPKI(*instrKI))
+		}
+		fmt.Println()
+		for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
+			if s.SegHits(seg)+s.SegMisses(seg) == 0 {
+				continue
+			}
+			fmt.Printf("      %-6s hit %6.2f%%  misses %12d\n", seg, 100*s.SegHitRate(seg), s.SegMisses(seg))
+		}
+	}
+	report("L1-I", h.L1IStats())
+	report("L1-D", h.L1DStats())
+	report("L2", h.L2Stats())
+	report("L3", h.L3Stats())
+	if h.HasL4() {
+		report("L4", h.L4Stats())
+	}
+	fmt.Printf("\nDRAM reads %d, writes %d\n", h.MemReads, h.MemWrites)
+}

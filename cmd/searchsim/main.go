@@ -1,0 +1,94 @@
+// Command searchsim runs the paper-reproduction experiments and prints the
+// regenerated tables and figures.
+//
+// Usage:
+//
+//	searchsim -list
+//	searchsim [-fast] [-budget N] [-threads N] [-seed N] [-v] all
+//	searchsim [-fast] table1 fig6b fig14 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"searchmem/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		fast    = flag.Bool("fast", false, "run at reduced scale (quick, uncalibrated)")
+		budget  = flag.Int64("budget", 0, "override measured instruction budget per configuration")
+		threads = flag.Int("threads", 0, "override trace thread count")
+		shrink  = flag.Int("shrink", 0, "override workload shrink factor")
+		seed    = flag.Uint64("seed", 1, "input-stream seed")
+		verbose = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %-10s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: searchsim [-fast] [-v] all | <experiment-id>...")
+		fmt.Fprintln(os.Stderr, "run 'searchsim -list' for available experiments")
+		os.Exit(2)
+	}
+
+	opts := experiments.Full()
+	if *fast {
+		opts = experiments.Fast()
+	}
+	if *budget > 0 {
+		opts.Budget = *budget
+	}
+	if *threads > 0 {
+		opts.Threads = *threads
+	}
+	if *shrink > 0 {
+		opts.Shrink = *shrink
+	}
+	opts.Seed = *seed
+	if *verbose {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", a...)
+		}
+	}
+	ctx := experiments.NewContext(opts)
+
+	var selected []experiments.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range args {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s) — %s\n", e.ID, e.PaperRef, e.Title)
+		fmt.Println(res.Render())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "# %s took %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Design-explorer searches the §IV design space with the core library: it
+// evaluates (cores, L3-per-core, L4) configurations under iso-area and
+// iso-power constraints using an analytic hit-curve stand-in, and prints
+// the frontier.
+//
+//	go run ./examples/design-explorer
+//	go run ./examples/design-explorer -area 117 -isopower
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"sort"
+
+	"searchmem"
+)
+
+// paperCurve is an analytic hit curve shaped like the paper's measured
+// ones: data locality saturating near 80%, code captured by 16 MiB, the L4
+// capturing heap locality by ~1 GiB. (cmd/searchsim explore uses the
+// measured curves instead.)
+type paperCurve struct{}
+
+func (paperCurve) DataHitRate(c int64) float64 {
+	return 0.8 * (1 - math.Exp(-float64(c)/(18<<20)))
+}
+
+func (paperCurve) CodeHitRate(c int64) float64 {
+	if c >= 16<<20 {
+		return 1
+	}
+	return float64(c) / (16 << 20)
+}
+
+func (paperCurve) L4HitRate(l4, l3 int64) float64 {
+	return 0.92 * (1 - math.Exp(-float64(l4)/(350<<20)))
+}
+
+func main() {
+	var (
+		area     = flag.Float64("area", 117, "die-area budget in L3-equivalent MiB")
+		isoPower = flag.Bool("isopower", false, "cap socket power at the 18-core baseline")
+		l4s      = flag.Bool("l4", true, "allow L4 configurations")
+	)
+	flag.Parse()
+
+	plat := searchmem.PLT1()
+	ev := searchmem.DesignEvaluator{
+		Curve: paperCurve{},
+		Params: searchmem.DesignParams{
+			TL3NS:       plat.L3LatencyNS,
+			TMEMNS:      plat.MemLatencyNS,
+			IPCLine:     searchmem.Equation1,
+			SMTSpeedup:  plat.SMT.Speedup,
+			CoreAreaMiB: plat.CoreAreaL3MiB,
+		},
+	}
+	baseline := searchmem.HierarchyDesign{Cores: 18, L3MiB: 45, SMTWays: 2}
+	baseScore := ev.Evaluate(baseline)
+	fmt.Printf("baseline: %s (area %.0f MiB-eq)\n\n", baseline, baseScore.AreaMiB)
+
+	cons := searchmem.DesignConstraint{MaxAreaMiB: *area}
+	if *isoPower {
+		cons.MaxRelPower = 1.0
+	}
+	var l4Sizes []int64
+	if *l4s {
+		l4Sizes = []int64{256, 512, 1024, 2048}
+	}
+	best, frontier := ev.Explore(baseline, cons, l4Sizes)
+
+	// Print the top designs by throughput.
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].QPS > frontier[j].QPS })
+	fmt.Println("top designs:")
+	for i, s := range frontier {
+		if i >= 8 {
+			break
+		}
+		imp, _ := searchmem.CompareDesigns(baseScore, s)
+		fmt.Printf("  %-55s QPS %+6.1f%%  area %5.1f  AMAT %5.1f ns\n",
+			s.Design.String(), 100*imp, s.AreaMiB, s.AMATNS)
+	}
+	imp, _ := searchmem.CompareDesigns(baseScore, best)
+	fmt.Printf("\nbest: %s (%+.1f%% over baseline)\n", best.Design, 100*imp)
+	fmt.Println("(the paper's §IV point: 23 cores / 1 MiB/core / 1 GiB L4 at +27%)")
+}

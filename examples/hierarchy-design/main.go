@@ -1,0 +1,73 @@
+// Hierarchy-design explores the paper's §IV design space with the
+// analytical models: how throughput responds to trading L3 capacity for
+// cores and to adding the latency-optimized eDRAM L4, at user-chosen
+// operating points.
+//
+//	go run ./examples/hierarchy-design
+//	go run ./examples/hierarchy-design -l3hit 0.6 -l4hit 0.85 -l4 2048
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"searchmem"
+)
+
+func main() {
+	var (
+		l3Hit  = flag.Float64("l3hit", 0.65, "L3 hit rate at the baseline 45 MiB")
+		l4Hit  = flag.Float64("l4hit", 0.90, "L4 hit rate at the chosen capacity")
+		l4MiB  = flag.Int64("l4", 1024, "L4 capacity MiB")
+		tMem   = flag.Float64("tmem", 65, "round-trip memory latency ns")
+		tL3    = flag.Float64("tl3", 14.4, "L3 latency ns")
+		coresN = flag.Int("cores", 18, "baseline core count")
+	)
+	flag.Parse()
+
+	plat := searchmem.PLT1()
+	smt := plat.SMT.Speedup(2)
+
+	// Baseline: cores x Equation1(AMAT), the paper's §III-D model.
+	amatBase := searchmem.AMATL3(*l3Hit, *tL3, *tMem)
+	qps := func(cores float64, amat float64) float64 {
+		ipc := searchmem.Equation1.Eval(amat)
+		return cores * ipc * smt
+	}
+	base := qps(float64(*coresN), amatBase)
+	fmt.Printf("baseline: %d cores, AMAT %.1f ns, relative QPS %.1f\n\n", *coresN, amatBase, base)
+
+	fmt.Println("L4 designs at the rebalanced 23-core / 23 MiB point:")
+	for _, design := range []struct {
+		name string
+		d    searchmem.L4Design
+	}{
+		{"baseline 40 ns, parallel lookup", searchmem.BaselineL4(*l4MiB << 20)},
+		{"pessimistic 60 ns + 5 ns penalty", func() searchmem.L4Design {
+			d := searchmem.BaselineL4(*l4MiB << 20)
+			d.HitLatencyNS, d.MissPenaltyNS, d.ParallelLookup = 60, 5, false
+			return d
+		}()},
+	} {
+		amat := searchmem.AMATWithL4(*l3Hit, *l4Hit, *tL3,
+			design.d.HitLatencyNS, *tMem, design.d.MissPenaltyNS)
+		q := qps(23, amat)
+		fmt.Printf("  %-34s AMAT %5.1f ns  QPS %+.1f%% vs baseline\n",
+			design.name, amat, 100*(q/base-1))
+	}
+
+	fmt.Println("\ncache-for-cores sweep (Equation 1, fixed hit-rate drop of 0.02 per repurposed MiB/core):")
+	for _, cpc := range []float64{2.5, 2.0, 1.5, 1.0, 0.5} {
+		// Area model: n = 117 area-MiB / (4 + c).
+		n := 117.0 / (plat.CoreAreaL3MiB + cpc)
+		h := *l3Hit - 0.02*(2.5-cpc)*4 // illustrative sensitivity
+		if h < 0 {
+			h = 0
+		}
+		amat := searchmem.AMATL3(h, *tL3, *tMem)
+		q := qps(n, amat)
+		fmt.Printf("  %.2f MiB/core -> %4.1f cores, h=%.2f, QPS %+.1f%%\n",
+			cpc, n, h, 100*(q/base-1))
+	}
+	fmt.Println("\n(run cmd/searchsim fig10/fig14 for the measured, simulation-driven versions)")
+}

@@ -1,0 +1,64 @@
+// Leafnode characterizes a search leaf the way the paper's §II does: it
+// runs the calibrated S1-leaf workload on a simulated PLT1 (Haswell-class)
+// platform and prints the Table I metrics and the Figure 3 Top-Down
+// breakdown.
+//
+//	go run ./examples/leafnode          # quick, shrunken workload
+//	go run ./examples/leafnode -full    # full calibrated scale (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"searchmem"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full calibrated scale")
+	flag.Parse()
+
+	shrink, budget := 8, int64(1_000_000)
+	if *full {
+		shrink, budget = 1, 6_000_000
+	}
+
+	fmt.Printf("building S1-leaf workload (shrink %d)...\n", shrink)
+	runner := searchmem.S1Leaf(shrink).Build()
+
+	fmt.Printf("measuring %d instructions on PLT1...\n\n", budget)
+	m := searchmem.Measure(runner, searchmem.MeasureConfig{
+		Platform: searchmem.PLT1(),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget:         budget,
+		Seed:           1,
+		WarmupFraction: 2.0,
+	})
+
+	fmt.Println("Table I metrics (paper S1 leaf fleet: 1.34 / 2.20 / 11.83 / 8.98):")
+	fmt.Printf("  per-core IPC     %6.2f\n", m.IPC)
+	fmt.Printf("  L3$ load MPKI    %6.2f\n", m.L3LoadMPKI)
+	fmt.Printf("  L2$ instr MPKI   %6.2f\n", m.L2InstrMPKI)
+	fmt.Printf("  branch MPKI      %6.2f\n", m.BranchMPKI)
+
+	fmt.Println("\nTop-Down breakdown (paper: 32 / 15.4 / 13.8 / 9.7 / 8.5 / 20.5):")
+	bd := m.Breakdown
+	for _, row := range []struct {
+		name string
+		v    float64
+	}{
+		{"Retiring", bd.Retiring},
+		{"Bad Speculation", bd.BadSpec},
+		{"FrontEnd: Latency", bd.FELatency},
+		{"FrontEnd: BW", bd.FEBandwidth},
+		{"BackEnd: Core", bd.BECore},
+		{"BackEnd: Memory", bd.BEMemory},
+	} {
+		fmt.Printf("  %-18s %5.1f%%\n", row.name, 100*row.v)
+	}
+
+	fmt.Printf("\nmemory system: L3 hit %.1f%%, AMAT %.1f ns, DRAM %.2f accesses/KI\n",
+		100*m.L3HitRate, m.AMATNS, m.DRAMPerKI)
+	fmt.Printf("workload: %d queries, %d postings decoded, %d instructions\n",
+		m.Run.Queries, m.Run.PostingsDecoded, m.Instructions)
+}

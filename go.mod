@@ -1,0 +1,3 @@
+module searchmem
+
+go 1.22

@@ -1,0 +1,444 @@
+package cache
+
+import (
+	"fmt"
+
+	"searchmem/internal/stats"
+	"searchmem/internal/trace"
+)
+
+// Policy selects the replacement policy of a cache.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used line (the paper's simulator uses
+	// LRU everywhere).
+	LRU Policy = iota
+	// FIFO evicts the oldest-filled line regardless of reuse.
+	FIFO
+	// Random evicts a uniformly random line (ablation baseline).
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// Config describes one cache.
+type Config struct {
+	// Name is used in reports ("L1-I", "L3", ...).
+	Name string
+	// Size is the capacity in bytes.
+	Size int64
+	// BlockSize is the line size in bytes (a power of two).
+	BlockSize int
+	// Assoc is the number of ways per set; 0 requests a fully-associative
+	// cache and 1 a direct-mapped one.
+	Assoc int
+	// Policy is the replacement policy (fully-associative caches support
+	// LRU and FIFO only).
+	Policy Policy
+	// AllocWays, when non-zero, restricts allocation to the first
+	// AllocWays ways of each set. This models Intel CAT way-partitioning
+	// exactly as the paper uses it: capacity and associativity shrink
+	// together (§III-D, §IV-B).
+	AllocWays int
+	// Seed seeds the Random replacement policy.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.Size <= 0 {
+		return fmt.Errorf("cache %q: size must be positive", c.Name)
+	}
+	if c.BlockSize <= 0 || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache %q: block size %d must be a positive power of two", c.Name, c.BlockSize)
+	}
+	if c.Assoc < 0 {
+		return fmt.Errorf("cache %q: negative associativity", c.Name)
+	}
+	blocks := c.Size / int64(c.BlockSize)
+	if blocks == 0 {
+		return fmt.Errorf("cache %q: size smaller than one block", c.Name)
+	}
+	if c.Assoc > 0 {
+		if blocks%int64(c.Assoc) != 0 {
+			return fmt.Errorf("cache %q: %d blocks not divisible by %d ways", c.Name, blocks, c.Assoc)
+		}
+		if c.AllocWays < 0 || c.AllocWays > c.Assoc {
+			return fmt.Errorf("cache %q: AllocWays %d out of range [0,%d]", c.Name, c.AllocWays, c.Assoc)
+		}
+	} else {
+		if c.AllocWays != 0 {
+			return fmt.Errorf("cache %q: AllocWays unsupported for fully-associative caches", c.Name)
+		}
+		if c.Policy == Random {
+			return fmt.Errorf("cache %q: random replacement unsupported for fully-associative caches", c.Name)
+		}
+	}
+	return nil
+}
+
+// Line describes a block held in (or evicted from) a cache.
+type Line struct {
+	// BlockAddr is the address of the block in block units (addr >> log2(blockSize)).
+	BlockAddr uint64
+	// Dirty reports whether the block holds unwritten modifications.
+	Dirty bool
+	// Seg is the segment of the access that installed the block.
+	Seg trace.Segment
+}
+
+// slot is one way of one set in the array-backed store.
+type slot struct {
+	tag   uint64 // full block address (cheaper than true tag extraction)
+	stamp uint64 // recency (LRU) or fill-order (FIFO) stamp
+	seg   trace.Segment
+	valid bool
+	dirty bool
+}
+
+// faNode is one entry of the fully-associative store's intrusive LRU list.
+type faNode struct {
+	line       Line
+	prev, next int32
+}
+
+// Cache is a single functional cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg        Config
+	blockShift uint
+	numSets    int
+	assoc      int
+	allocWays  int
+
+	// array-backed set-associative storage (assoc > 0)
+	slots []slot
+	clock uint64
+
+	// map-backed fully-associative storage (assoc == 0)
+	faCap   int
+	faIndex map[uint64]int32
+	faNodes []faNode
+	faHead  int32 // most recent
+	faTail  int32 // least recent
+	faFree  []int32
+
+	rng *stats.RNG
+
+	// Stats accumulates demand hit/miss counts.
+	Stats AccessStats
+
+	// OnEvict, when set, is invoked for every valid line evicted by a
+	// fill (demand or writeback). It is the hook the hierarchy uses for
+	// inclusive back-invalidation and L4 victim fills.
+	OnEvict func(Line)
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration;
+// callers constructing configs from external input should call
+// cfg.Validate first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0x5eedcafe)}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		c.blockShift++
+	}
+	blocks := int(cfg.Size / int64(cfg.BlockSize))
+	if cfg.Assoc == 0 {
+		c.faCap = blocks
+		c.faIndex = make(map[uint64]int32, blocks)
+		c.faHead, c.faTail = -1, -1
+		return c
+	}
+	c.assoc = cfg.Assoc
+	c.allocWays = cfg.AllocWays
+	if c.allocWays == 0 {
+		c.allocWays = cfg.Assoc
+	}
+	c.numSets = blocks / cfg.Assoc
+	c.slots = make([]slot, blocks)
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BlockAddr converts a byte address to this cache's block address.
+func (c *Cache) BlockAddr(addr uint64) uint64 { return addr >> c.blockShift }
+
+// BlockShift returns log2(block size).
+func (c *Cache) BlockShift() uint { return c.blockShift }
+
+// EffectiveSize returns the allocatable capacity in bytes (reduced when
+// way-partitioning is active).
+func (c *Cache) EffectiveSize() int64 {
+	if c.assoc == 0 {
+		return c.cfg.Size
+	}
+	return c.cfg.Size * int64(c.allocWays) / int64(c.assoc)
+}
+
+// Access probes for block; on a hit it updates recency (and dirtiness for
+// writes) and returns true. On a miss it records the miss and returns false
+// WITHOUT filling: the hierarchy decides when and what to fill so that fill
+// ordering across levels is explicit.
+func (c *Cache) Access(block uint64, seg trace.Segment, kind trace.Kind) bool {
+	hit := c.touch(block, kind == trace.Write)
+	c.Stats.record(seg, kind, hit)
+	return hit
+}
+
+// touch probes and updates recency/dirty without recording stats.
+func (c *Cache) touch(block uint64, write bool) bool {
+	if c.assoc == 0 {
+		idx, ok := c.faIndex[block]
+		if !ok {
+			return false
+		}
+		if write {
+			c.faNodes[idx].line.Dirty = true
+		}
+		if c.cfg.Policy == LRU {
+			c.faMoveToFront(idx)
+		}
+		return true
+	}
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			if write {
+				set[i].dirty = true
+			}
+			if c.cfg.Policy == LRU {
+				c.clock++
+				set[i].stamp = c.clock
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether block is present without perturbing recency or
+// stats.
+func (c *Cache) Contains(block uint64) bool {
+	if c.assoc == 0 {
+		_, ok := c.faIndex[block]
+		return ok
+	}
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs block (e.g. after a miss was serviced by a lower level).
+// If a valid line is displaced it is returned with ok = true, and OnEvict
+// (if set) is invoked for it. Filling a block that is already present only
+// updates its metadata.
+func (c *Cache) Fill(block uint64, seg trace.Segment, dirty bool) (evicted Line, ok bool) {
+	if c.assoc == 0 {
+		return c.faFill(block, seg, dirty)
+	}
+	set := c.setFor(block)
+	// Already present (e.g. race between writeback and demand fill).
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].dirty = set[i].dirty || dirty
+			return Line{}, false
+		}
+	}
+	victim := -1
+	for i := 0; i < c.allocWays; i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Policy {
+		case Random:
+			victim = c.rng.Intn(c.allocWays)
+		default: // LRU and FIFO both evict the minimum stamp
+			victim = 0
+			for i := 1; i < c.allocWays; i++ {
+				if set[i].stamp < set[victim].stamp {
+					victim = i
+				}
+			}
+		}
+		evicted = Line{BlockAddr: set[victim].tag, Dirty: set[victim].dirty, Seg: set[victim].seg}
+		ok = true
+	}
+	c.clock++
+	set[victim] = slot{tag: block, stamp: c.clock, seg: seg, valid: true, dirty: dirty}
+	if ok && c.OnEvict != nil {
+		c.OnEvict(evicted)
+	}
+	return evicted, ok
+}
+
+// Invalidate removes block if present, returning its line. Used for
+// inclusive back-invalidation.
+func (c *Cache) Invalidate(block uint64) (line Line, present bool) {
+	if c.assoc == 0 {
+		idx, ok := c.faIndex[block]
+		if !ok {
+			return Line{}, false
+		}
+		line = c.faNodes[idx].line
+		c.faRemove(idx)
+		return line, true
+	}
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			line = Line{BlockAddr: set[i].tag, Dirty: set[i].dirty, Seg: set[i].seg}
+			set[i] = slot{}
+			return line, true
+		}
+	}
+	return Line{}, false
+}
+
+// MarkDirty sets the dirty bit if block is present, returning whether it
+// was. Used for writebacks landing on a resident line.
+func (c *Cache) MarkDirty(block uint64) bool {
+	if c.assoc == 0 {
+		if idx, ok := c.faIndex[block]; ok {
+			c.faNodes[idx].line.Dirty = true
+			return true
+		}
+		return false
+	}
+	set := c.setFor(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	if c.assoc == 0 {
+		return len(c.faIndex)
+	}
+	n := 0
+	for i := range c.slots {
+		if c.slots[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	c.Stats = AccessStats{}
+	c.clock = 0
+	if c.assoc == 0 {
+		c.faIndex = make(map[uint64]int32, c.faCap)
+		c.faNodes = c.faNodes[:0]
+		c.faFree = c.faFree[:0]
+		c.faHead, c.faTail = -1, -1
+		return
+	}
+	for i := range c.slots {
+		c.slots[i] = slot{}
+	}
+}
+
+func (c *Cache) setFor(block uint64) []slot {
+	s := int(block % uint64(c.numSets))
+	return c.slots[s*c.assoc : (s+1)*c.assoc]
+}
+
+// --- fully-associative store ---
+
+func (c *Cache) faFill(block uint64, seg trace.Segment, dirty bool) (evicted Line, ok bool) {
+	if idx, present := c.faIndex[block]; present {
+		c.faNodes[idx].line.Dirty = c.faNodes[idx].line.Dirty || dirty
+		return Line{}, false
+	}
+	if len(c.faIndex) >= c.faCap {
+		victim := c.faTail
+		evicted = c.faNodes[victim].line
+		ok = true
+		c.faRemove(victim)
+	}
+	var idx int32
+	if n := len(c.faFree); n > 0 {
+		idx = c.faFree[n-1]
+		c.faFree = c.faFree[:n-1]
+		c.faNodes[idx] = faNode{line: Line{BlockAddr: block, Dirty: dirty, Seg: seg}}
+	} else {
+		idx = int32(len(c.faNodes))
+		c.faNodes = append(c.faNodes, faNode{line: Line{BlockAddr: block, Dirty: dirty, Seg: seg}})
+	}
+	c.faPushFront(idx)
+	c.faIndex[block] = idx
+	if ok && c.OnEvict != nil {
+		c.OnEvict(evicted)
+	}
+	return evicted, ok
+}
+
+func (c *Cache) faPushFront(idx int32) {
+	c.faNodes[idx].prev = -1
+	c.faNodes[idx].next = c.faHead
+	if c.faHead >= 0 {
+		c.faNodes[c.faHead].prev = idx
+	}
+	c.faHead = idx
+	if c.faTail < 0 {
+		c.faTail = idx
+	}
+}
+
+func (c *Cache) faUnlink(idx int32) {
+	n := c.faNodes[idx]
+	if n.prev >= 0 {
+		c.faNodes[n.prev].next = n.next
+	} else {
+		c.faHead = n.next
+	}
+	if n.next >= 0 {
+		c.faNodes[n.next].prev = n.prev
+	} else {
+		c.faTail = n.prev
+	}
+}
+
+func (c *Cache) faMoveToFront(idx int32) {
+	if c.faHead == idx {
+		return
+	}
+	c.faUnlink(idx)
+	c.faPushFront(idx)
+}
+
+func (c *Cache) faRemove(idx int32) {
+	delete(c.faIndex, c.faNodes[idx].line.BlockAddr)
+	c.faUnlink(idx)
+	c.faFree = append(c.faFree, idx)
+}

@@ -1,0 +1,415 @@
+package cache
+
+import (
+	"fmt"
+
+	"searchmem/internal/trace"
+)
+
+// HierarchyConfig describes a full multi-core cache hierarchy: per-core
+// private L1-I/L1-D/L2 caches, a shared L3, and an optional shared L4
+// operating as a memory-side victim cache for L3 evictions (§IV-C).
+type HierarchyConfig struct {
+	// Cores is the number of cores; each gets private L1/L2 caches.
+	Cores int
+	// ThreadsPerCore maps trace thread ids onto cores: thread t runs on
+	// core t/ThreadsPerCore (SMT threads share their core's caches).
+	ThreadsPerCore int
+	// L1I, L1D and L2 are per-core cache templates.
+	L1I, L1D, L2 Config
+	// SplitL2 gives each core separate L2 instruction and data caches of
+	// half the unified capacity each (the §V "Split I/D L2 caches"
+	// what-if). The L2 template's capacity is divided; all other
+	// parameters carry over.
+	SplitL2 bool
+	// L3 is the shared last-level SRAM cache.
+	L3 Config
+	// L3Inclusive enables inclusion: L3 evictions back-invalidate copies
+	// in the private caches (the paper notes this effect for PLT1's L3).
+	L3Inclusive bool
+	// L4, when non-nil, adds the paper's eDRAM L4. It must use the same
+	// block size as the L3 (the paper keeps them equal to simplify the
+	// victim path).
+	L4 *Config
+	// L4FillOnMiss fills the L4 on memory fetches instead of on L3
+	// evictions (ablation of the victim-fill design choice).
+	L4FillOnMiss bool
+}
+
+// Validate reports whether the hierarchy configuration is consistent.
+func (hc HierarchyConfig) Validate() error {
+	if hc.Cores <= 0 {
+		return fmt.Errorf("hierarchy: cores must be positive, got %d", hc.Cores)
+	}
+	if hc.ThreadsPerCore <= 0 {
+		return fmt.Errorf("hierarchy: threads per core must be positive, got %d", hc.ThreadsPerCore)
+	}
+	for _, cfg := range []Config{hc.L1I, hc.L1D, hc.L2, hc.L3} {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+	}
+	if hc.L1I.BlockSize != hc.L1D.BlockSize {
+		return fmt.Errorf("hierarchy: L1-I and L1-D block sizes differ")
+	}
+	if hc.L2.BlockSize < hc.L1D.BlockSize || hc.L3.BlockSize < hc.L2.BlockSize {
+		return fmt.Errorf("hierarchy: block sizes must not shrink down the hierarchy")
+	}
+	if hc.L4 != nil {
+		if err := hc.L4.Validate(); err != nil {
+			return err
+		}
+		if hc.L4.BlockSize != hc.L3.BlockSize {
+			return fmt.Errorf("hierarchy: L4 block size %d must equal L3 block size %d",
+				hc.L4.BlockSize, hc.L3.BlockSize)
+		}
+	}
+	return nil
+}
+
+// Hierarchy is a functional multi-level cache simulator. It is not safe for
+// concurrent use; the trace interleaving (trace.Interleave) models
+// multi-threaded execution instead.
+type Hierarchy struct {
+	cfg HierarchyConfig
+
+	l1i, l1d, l2 []*Cache
+	l2i          []*Cache // only with SplitL2
+	l3           *Cache
+	l4           *Cache
+
+	// MemReads counts demand fetches that reached main memory; MemWrites
+	// counts dirty writebacks that reached main memory. Together they are
+	// the DRAM traffic the L4 is designed to filter (Figure 13).
+	MemReads, MemWrites int64
+	// PrefetchFills counts blocks installed by InstallPrefetch;
+	// PrefetchMemReads counts the subset that had to read main memory
+	// (prefetch bandwidth cost).
+	PrefetchFills, PrefetchMemReads int64
+}
+
+// HitLevel identifies the hierarchy level that serviced an access.
+type HitLevel uint8
+
+const (
+	// HitL1 through HitMemory name the servicing level in depth order.
+	HitL1 HitLevel = iota + 1
+	HitL2
+	HitL3
+	HitL4
+	HitMemory
+)
+
+// String implements fmt.Stringer.
+func (l HitLevel) String() string {
+	switch l {
+	case HitL1:
+		return "L1"
+	case HitL2:
+		return "L2"
+	case HitL3:
+		return "L3"
+	case HitL4:
+		return "L4"
+	case HitMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// NewHierarchy builds a hierarchy; it panics on invalid configuration.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for c := 0; c < cfg.Cores; c++ {
+		mk := func(t Config, kind string) *Cache {
+			t.Name = fmt.Sprintf("%s[core%d]", kind, c)
+			t.Seed ^= uint64(c+1) * 0x9e3779b9
+			return New(t)
+		}
+		h.l1i = append(h.l1i, mk(cfg.L1I, "L1-I"))
+		h.l1d = append(h.l1d, mk(cfg.L1D, "L1-D"))
+		if cfg.SplitL2 {
+			half := cfg.L2
+			half.Size /= 2
+			blocks := half.Size / int64(half.BlockSize)
+			if half.Assoc > 0 {
+				blocks -= blocks % int64(half.Assoc)
+				half.Size = blocks * int64(half.BlockSize)
+			}
+			h.l2 = append(h.l2, mk(half, "L2-D"))
+			h.l2i = append(h.l2i, mk(half, "L2-I"))
+		} else {
+			h.l2 = append(h.l2, mk(cfg.L2, "L2"))
+		}
+	}
+	h.l3 = New(cfg.L3)
+	if cfg.L4 != nil {
+		h.l4 = New(*cfg.L4)
+		h.l4.OnEvict = func(l Line) {
+			if l.Dirty {
+				h.MemWrites++
+			}
+		}
+	}
+	h.l3.OnEvict = h.onL3Evict
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// onL3Evict implements inclusion back-invalidation and the L4 victim path.
+func (h *Hierarchy) onL3Evict(l Line) {
+	dirty := l.Dirty
+	byteAddr := l.BlockAddr << h.l3.BlockShift()
+	if h.cfg.L3Inclusive {
+		// Invalidate every covered upper-level block; fold any dirty
+		// upper copy into the evicted line so the data is not lost.
+		for c := 0; c < h.cfg.Cores; c++ {
+			dirty = h.backInvalidate(h.l1i[c], byteAddr, int64(h.cfg.L3.BlockSize)) || dirty
+			dirty = h.backInvalidate(h.l1d[c], byteAddr, int64(h.cfg.L3.BlockSize)) || dirty
+			dirty = h.backInvalidate(h.l2[c], byteAddr, int64(h.cfg.L3.BlockSize)) || dirty
+			if h.cfg.SplitL2 {
+				dirty = h.backInvalidate(h.l2i[c], byteAddr, int64(h.cfg.L3.BlockSize)) || dirty
+			}
+		}
+	}
+	if h.l4 != nil && !h.cfg.L4FillOnMiss {
+		h.l4.Fill(h.l4.BlockAddr(byteAddr), l.Seg, dirty)
+		return // a dirty line now lives in the L4; written back on L4 eviction
+	}
+	if dirty {
+		h.MemWrites++
+	}
+}
+
+// backInvalidate removes every block of c covered by [byteAddr,
+// byteAddr+span) and reports whether any removed line was dirty.
+func (h *Hierarchy) backInvalidate(c *Cache, byteAddr uint64, span int64) bool {
+	dirty := false
+	step := uint64(c.Config().BlockSize)
+	for off := uint64(0); off < uint64(span); off += step {
+		if line, present := c.Invalidate(c.BlockAddr(byteAddr + off)); present {
+			c.Stats.BackInvalidations++
+			dirty = dirty || line.Dirty
+		}
+	}
+	return dirty
+}
+
+// coreFor maps a hardware thread to its core.
+func (h *Hierarchy) coreFor(thread uint8) int {
+	return int(thread) / h.cfg.ThreadsPerCore % h.cfg.Cores
+}
+
+// Access runs one trace access through the hierarchy and returns the
+// deepest level that had to service it. Accesses that span multiple L1
+// blocks are split (each covered block is one probe, matching a banked
+// cache servicing an unaligned reference).
+func (h *Hierarchy) Access(a trace.Access) HitLevel {
+	core := h.coreFor(a.Thread)
+	l1 := h.l1d[core]
+	if a.Kind == trace.Fetch {
+		l1 = h.l1i[core]
+	}
+	size := uint64(a.Size)
+	if size == 0 {
+		size = 1
+	}
+	first := l1.BlockAddr(a.Addr)
+	last := l1.BlockAddr(a.Addr + size - 1)
+	deepest := HitL1
+	for b := first; b <= last; b++ {
+		if lvl := h.accessBlock(core, l1, b<<l1.BlockShift(), a.Seg, a.Kind); lvl > deepest {
+			deepest = lvl
+		}
+	}
+	return deepest
+}
+
+// Drain runs an entire stream through the hierarchy.
+func (h *Hierarchy) Drain(s trace.Stream) {
+	var a trace.Access
+	for s.Next(&a) {
+		h.Access(a)
+	}
+}
+
+// accessBlock probes the levels in order and performs the fill cascade,
+// returning the servicing level.
+func (h *Hierarchy) accessBlock(core int, l1 *Cache, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
+	l2 := h.l2[core]
+	if h.cfg.SplitL2 && kind == trace.Fetch {
+		l2 = h.l2i[core]
+	}
+	if l1.Access(l1.BlockAddr(byteAddr), seg, kind) {
+		return HitL1
+	}
+	level := HitL2
+	hitL2 := l2.Access(l2.BlockAddr(byteAddr), seg, kind)
+	if !hitL2 {
+		level = HitL3
+		hitL3 := h.l3.Access(h.l3.BlockAddr(byteAddr), seg, kind)
+		if !hitL3 {
+			hitL4 := false
+			if h.l4 != nil {
+				// Memory-side cache: its lookup proceeds in parallel
+				// with memory scheduling (§IV-C); functionally we only
+				// need hit/miss.
+				hitL4 = h.l4.Access(h.l4.BlockAddr(byteAddr), seg, kind)
+			}
+			if hitL4 {
+				level = HitL4
+			} else {
+				level = HitMemory
+				h.MemReads++
+				if h.l4 != nil && h.cfg.L4FillOnMiss {
+					h.l4.Fill(h.l4.BlockAddr(byteAddr), seg, false)
+				}
+			}
+			// Fill the L3 (evictions flow to the L4 victim path).
+			h.l3.Fill(h.l3.BlockAddr(byteAddr), seg, false)
+		}
+		// Fill the L2; dirty victims write back into the L3.
+		if ev, ok := l2.Fill(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
+			h.writeback(h.l3, ev.BlockAddr<<l2.BlockShift(), ev.Seg)
+		}
+	}
+	// Fill the L1; dirty victims write back into the L2.
+	if ev, ok := l1.Fill(l1.BlockAddr(byteAddr), seg, kind == trace.Write); ok && ev.Dirty {
+		h.writeback(l2, ev.BlockAddr<<l1.BlockShift(), ev.Seg)
+	}
+	return level
+}
+
+// InstallPrefetch brings a block into core's L2 (and the shared L3) without
+// touching demand statistics. It models a hardware prefetcher's fill: useful
+// prefetches convert later demand misses into hits; useless ones cost
+// memory bandwidth and can pollute the caches.
+func (h *Hierarchy) InstallPrefetch(core int, byteAddr uint64, seg trace.Segment) {
+	if core < 0 || core >= h.cfg.Cores {
+		return
+	}
+	l2 := h.l2[core]
+	if l2.Contains(l2.BlockAddr(byteAddr)) {
+		return
+	}
+	h.PrefetchFills++
+	inL3 := h.l3.Contains(h.l3.BlockAddr(byteAddr))
+	inL4 := h.l4 != nil && h.l4.Contains(h.l4.BlockAddr(byteAddr))
+	if !inL3 {
+		if !inL4 {
+			h.PrefetchMemReads++
+			h.MemReads++
+		}
+		h.l3.Fill(h.l3.BlockAddr(byteAddr), seg, false)
+	}
+	if ev, ok := l2.Fill(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
+		h.writeback(h.l3, ev.BlockAddr<<l2.BlockShift(), ev.Seg)
+	}
+}
+
+// writeback lands a dirty block on lower: marking an existing line dirty, or
+// installing it as a writeback fill (which may cascade its own eviction).
+func (h *Hierarchy) writeback(lower *Cache, byteAddr uint64, seg trace.Segment) {
+	block := lower.BlockAddr(byteAddr)
+	if lower.MarkDirty(block) {
+		return
+	}
+	lower.Stats.WritebackFills++
+	lower.Fill(block, seg, true)
+}
+
+// aggregate sums stats across a slice of per-core caches.
+func aggregate(caches []*Cache) AccessStats {
+	var total AccessStats
+	for _, c := range caches {
+		total.Add(&c.Stats)
+	}
+	return total
+}
+
+// L1IStats returns instruction-cache stats summed over cores.
+func (h *Hierarchy) L1IStats() AccessStats { return aggregate(h.l1i) }
+
+// L1DStats returns data-cache stats summed over cores.
+func (h *Hierarchy) L1DStats() AccessStats { return aggregate(h.l1d) }
+
+// L1Stats returns combined L1 stats (I + D) summed over cores, the "L1"
+// level of Figure 6a.
+func (h *Hierarchy) L1Stats() AccessStats {
+	s := h.L1IStats()
+	d := h.L1DStats()
+	s.Add(&d)
+	return s
+}
+
+// L2Stats returns L2 stats summed over cores (both halves when split).
+func (h *Hierarchy) L2Stats() AccessStats {
+	s := aggregate(h.l2)
+	if h.cfg.SplitL2 {
+		i := aggregate(h.l2i)
+		s.Add(&i)
+	}
+	return s
+}
+
+// L3Stats returns the shared L3's stats.
+func (h *Hierarchy) L3Stats() AccessStats { return h.l3.Stats }
+
+// L4Stats returns the L4's stats; it returns a zero value when no L4 is
+// configured.
+func (h *Hierarchy) L4Stats() AccessStats {
+	if h.l4 == nil {
+		return AccessStats{}
+	}
+	return h.l4.Stats
+}
+
+// HasL4 reports whether an L4 is configured.
+func (h *Hierarchy) HasL4() bool { return h.l4 != nil }
+
+// L3 exposes the shared L3 cache (read-only use intended).
+func (h *Hierarchy) L3() *Cache { return h.l3 }
+
+// L4 exposes the L4 cache, or nil.
+func (h *Hierarchy) L4() *Cache { return h.l4 }
+
+// DRAMAccesses returns total main-memory transactions (reads + writebacks).
+func (h *Hierarchy) DRAMAccesses() int64 { return h.MemReads + h.MemWrites }
+
+// ResetStats zeroes all statistics while preserving cache contents: used to
+// measure steady state after a warmup phase, as the paper's traces capture
+// servers already in steady state.
+func (h *Hierarchy) ResetStats() {
+	for _, group := range [][]*Cache{h.l1i, h.l1d, h.l2, h.l2i} {
+		for _, c := range group {
+			c.Stats = AccessStats{}
+		}
+	}
+	h.l3.Stats = AccessStats{}
+	if h.l4 != nil {
+		h.l4.Stats = AccessStats{}
+	}
+	h.MemReads, h.MemWrites = 0, 0
+	h.PrefetchFills, h.PrefetchMemReads = 0, 0
+}
+
+// Reset clears all cache contents and statistics.
+func (h *Hierarchy) Reset() {
+	for _, group := range [][]*Cache{h.l1i, h.l1d, h.l2, h.l2i} {
+		for _, c := range group {
+			c.Reset()
+		}
+	}
+	h.l3.Reset()
+	if h.l4 != nil {
+		h.l4.Reset()
+	}
+	h.MemReads, h.MemWrites = 0, 0
+	h.PrefetchFills, h.PrefetchMemReads = 0, 0
+}

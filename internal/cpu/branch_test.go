@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"testing"
+
+	"searchmem/internal/stats"
+)
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := NewBimodal(12)
+	s := PredictorStats{P: p}
+	// A branch taken 100% of the time must be learned almost perfectly.
+	for i := 0; i < 1000; i++ {
+		s.Observe(Branch{PC: 0x400100, Taken: true})
+	}
+	if s.Accuracy() < 0.99 {
+		t.Fatalf("bimodal accuracy on constant branch: %v", s.Accuracy())
+	}
+}
+
+func TestBimodalAlternatingIsHard(t *testing.T) {
+	p := NewBimodal(12)
+	s := PredictorStats{P: p}
+	// Strict alternation defeats a 2-bit counter (~50% accuracy).
+	for i := 0; i < 2000; i++ {
+		s.Observe(Branch{PC: 0x400100, Taken: i%2 == 0})
+	}
+	if s.Accuracy() > 0.7 {
+		t.Fatalf("bimodal should not learn alternation, accuracy %v", s.Accuracy())
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	p := NewGshare(12)
+	s := PredictorStats{P: p}
+	for i := 0; i < 4000; i++ {
+		s.Observe(Branch{PC: 0x400100, Taken: i%2 == 0})
+	}
+	if s.Accuracy() < 0.95 {
+		t.Fatalf("gshare should learn alternation via history, accuracy %v", s.Accuracy())
+	}
+}
+
+func TestGshareLearnsShortPattern(t *testing.T) {
+	p := NewGshare(14)
+	s := PredictorStats{P: p}
+	pattern := []bool{true, true, false, true, false, false}
+	for i := 0; i < 12000; i++ {
+		s.Observe(Branch{PC: 0x7f0040, Taken: pattern[i%len(pattern)]})
+	}
+	if s.Accuracy() < 0.9 {
+		t.Fatalf("gshare accuracy on periodic pattern: %v", s.Accuracy())
+	}
+}
+
+func TestPredictorsOnRandomBranches(t *testing.T) {
+	// Data-dependent (random) branches bound every predictor near the
+	// base rate — this is what gives search its high branch MPKI.
+	rng := stats.NewRNG(5)
+	outcomes := make([]bool, 20000)
+	for i := range outcomes {
+		outcomes[i] = rng.Bool(0.5)
+	}
+	for _, p := range []Predictor{NewBimodal(12), NewGshare(12), NewTournament(12)} {
+		s := PredictorStats{P: p}
+		rng2 := stats.NewRNG(9)
+		for _, taken := range outcomes {
+			pc := 0x400000 + rng2.Uint64n(64)*4
+			s.Observe(Branch{PC: pc, Taken: taken})
+		}
+		if s.Accuracy() > 0.6 {
+			t.Fatalf("%s cannot beat 60%% on random outcomes, got %v", p.Name(), s.Accuracy())
+		}
+	}
+}
+
+func TestTournamentAtLeastAsGoodAsComponents(t *testing.T) {
+	// On a mix of biased and history-correlated branches the tournament
+	// should approach the better component per branch.
+	run := func(p Predictor) float64 {
+		s := PredictorStats{P: p}
+		for i := 0; i < 20000; i++ {
+			// Branch A: strongly biased. Branch B: alternating.
+			s.Observe(Branch{PC: 0x1000, Taken: true})
+			s.Observe(Branch{PC: 0x2000, Taken: i%2 == 0})
+		}
+		return s.Accuracy()
+	}
+	tourn := run(NewTournament(12))
+	bim := run(NewBimodal(12))
+	if tourn < bim {
+		t.Fatalf("tournament (%v) worse than bimodal (%v)", tourn, bim)
+	}
+	if tourn < 0.9 {
+		t.Fatalf("tournament accuracy %v on mixed workload", tourn)
+	}
+}
+
+func TestStaticTaken(t *testing.T) {
+	s := PredictorStats{P: StaticTaken{}}
+	s.Observe(Branch{PC: 1, Taken: true})
+	s.Observe(Branch{PC: 1, Taken: false})
+	if s.Mispredicts != 1 || s.Predictions != 2 {
+		t.Fatalf("static stats: %+v", s)
+	}
+	if (StaticTaken{}).Name() != "static-taken" {
+		t.Fatal("name")
+	}
+}
+
+func TestMPKIComputation(t *testing.T) {
+	s := PredictorStats{P: StaticTaken{}}
+	for i := 0; i < 10; i++ {
+		s.Observe(Branch{PC: 1, Taken: false}) // all mispredict
+	}
+	if got := s.MPKI(1000); got != 10 {
+		t.Fatalf("MPKI = %v, want 10", got)
+	}
+	if s.MPKI(0) != 0 {
+		t.Fatal("zero instructions must give MPKI 0")
+	}
+}
+
+func TestPredictorPanicsOnBadBits(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBimodal(0) },
+		func() { NewBimodal(30) },
+		func() { NewGshare(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	s := PredictorStats{P: StaticTaken{}}
+	if s.Accuracy() != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	if NewBimodal(4).Name() != "bimodal" || NewGshare(4).Name() != "gshare" || NewTournament(4).Name() != "tournament" {
+		t.Fatal("predictor names wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"fmt"
+
+	"searchmem/internal/stats"
+)
+
+// SMTModel predicts the throughput speedup of running n hardware threads on
+// one core relative to one thread.
+//
+// Additional threads fill the issue slots a single thread wastes on stalls
+// (Figure 3 shows 68% of slots are wasted), but they also contend for
+// private caches, fetch bandwidth and execution units. The model captures
+// this with a quadratic contention denominator:
+//
+//	speedup(n) = n / (1 + A*(n-1) + B*(n-1)^2)
+//
+// A is first-order resource contention; B grows with thread count and
+// captures saturation. The platform presets in internal/platform are
+// calibrated against the paper's measurements (PLT1 SMT-2 = 1.37x; PLT2
+// SMT-2 = 1.76x and SMT-8 = 3.24x).
+type SMTModel struct {
+	A, B float64
+}
+
+// Speedup returns the modeled throughput ratio of n threads vs 1.
+// n <= 1 returns 1.
+func (m SMTModel) Speedup(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	k := float64(n - 1)
+	return float64(n) / (1 + m.A*k + m.B*k*k)
+}
+
+// Validate reports whether the model is physically sensible (speedup must
+// not be negative or exceed n).
+func (m SMTModel) Validate() error {
+	if m.A < 0 || m.B < 0 {
+		return fmt.Errorf("cpu: SMT contention coefficients must be non-negative")
+	}
+	return nil
+}
+
+// FitSMT calibrates an SMTModel from measured (threads, speedup) points.
+// With one point B is fixed at 0; with two or more points A and B are
+// solved by least squares on the linearized form
+//
+//	n/speedup - 1 = A*(n-1) + B*(n-1)^2.
+func FitSMT(points map[int]float64) (SMTModel, error) {
+	type obs struct{ k, y float64 }
+	var data []obs
+	for n, sp := range points {
+		if n < 2 || sp <= 0 {
+			continue
+		}
+		k := float64(n - 1)
+		data = append(data, obs{k: k, y: float64(n)/sp - 1})
+	}
+	switch len(data) {
+	case 0:
+		return SMTModel{}, fmt.Errorf("cpu: FitSMT needs at least one point with n >= 2")
+	case 1:
+		return SMTModel{A: data[0].y / data[0].k}, nil
+	}
+	// Least squares for y = A*k + B*k^2 (no intercept).
+	var s11, s12, s22, b1, b2 float64
+	for _, d := range data {
+		s11 += d.k * d.k
+		s12 += d.k * d.k * d.k
+		s22 += d.k * d.k * d.k * d.k
+		b1 += d.k * d.y
+		b2 += d.k * d.k * d.y
+	}
+	det := s11*s22 - s12*s12
+	if det == 0 {
+		return SMTModel{}, stats.ErrDegenerate
+	}
+	a := (b1*s22 - b2*s12) / det
+	b := (b2*s11 - b1*s12) / det
+	if a < 0 {
+		a = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	return SMTModel{A: a, B: b}, nil
+}

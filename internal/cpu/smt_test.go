@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSMTSpeedupBasics(t *testing.T) {
+	m := SMTModel{A: 0.3}
+	if m.Speedup(1) != 1 || m.Speedup(0) != 1 {
+		t.Fatal("n <= 1 must be speedup 1")
+	}
+	if m.Speedup(2) <= 1 {
+		t.Fatal("SMT-2 should help with modest contention")
+	}
+	// Diminishing returns: marginal speedup shrinks.
+	d1 := m.Speedup(2) - m.Speedup(1)
+	d2 := m.Speedup(4) - m.Speedup(2)
+	if d2 >= 2*d1 {
+		t.Fatalf("no diminishing returns: %v then %v", d1, d2)
+	}
+}
+
+func TestSMTNeverSuperlinear(t *testing.T) {
+	m := SMTModel{A: 0.1, B: 0.01}
+	for n := 1; n <= 16; n++ {
+		if s := m.Speedup(n); s > float64(n) {
+			t.Fatalf("speedup(%d) = %v exceeds n", n, s)
+		}
+	}
+}
+
+func TestFitSMTSinglePoint(t *testing.T) {
+	// PLT1: SMT-2 measured at 1.37x.
+	m, err := FitSMT(map[int]float64{2: 1.37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Speedup(2); math.Abs(got-1.37) > 1e-9 {
+		t.Fatalf("fit does not reproduce its input: %v", got)
+	}
+}
+
+func TestFitSMTPaperPLT2(t *testing.T) {
+	// PLT2: SMT-2 = 1.76x, SMT-8 = 3.24x (the paper's POWER8 numbers).
+	m, err := FitSMT(map[int]float64{2: 1.76, 8: 3.24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Speedup(2); math.Abs(got-1.76) > 0.02 {
+		t.Fatalf("SMT-2 = %v, want 1.76", got)
+	}
+	if got := m.Speedup(8); math.Abs(got-3.24) > 0.05 {
+		t.Fatalf("SMT-8 = %v, want 3.24", got)
+	}
+	// SMT-4 must fall between, with diminishing returns.
+	s4 := m.Speedup(4)
+	if s4 <= m.Speedup(2) || s4 >= m.Speedup(8) {
+		t.Fatalf("SMT-4 = %v not between SMT-2 and SMT-8", s4)
+	}
+}
+
+func TestFitSMTErrors(t *testing.T) {
+	if _, err := FitSMT(nil); err == nil {
+		t.Fatal("empty fit accepted")
+	}
+	if _, err := FitSMT(map[int]float64{1: 1.0}); err == nil {
+		t.Fatal("n=1-only fit accepted")
+	}
+}
+
+func TestSMTValidate(t *testing.T) {
+	if err := (SMTModel{A: -1}).Validate(); err == nil {
+		t.Fatal("negative A accepted")
+	}
+	if err := (SMTModel{A: 0.2, B: 0.01}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

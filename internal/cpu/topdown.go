@@ -1,0 +1,133 @@
+package cpu
+
+import "fmt"
+
+// CoreParams describes the core microarchitecture constants feeding the
+// Top-Down slot-accounting model [Yasin, ISPASS'14] that the paper uses to
+// attribute execution slots (Figure 3).
+type CoreParams struct {
+	// Width is the issue width in slots per cycle (4 for the PLT1-like
+	// Haswell core).
+	Width int
+	// FreqGHz converts nanosecond memory latencies to core cycles.
+	FreqGHz float64
+	// MispredPenaltyCycles is the pipeline refill cost of a branch
+	// misprediction.
+	MispredPenaltyCycles float64
+	// L2LatencyCycles and L3LatencyCycles are load-to-use latencies of
+	// the respective levels.
+	L2LatencyCycles, L3LatencyCycles float64
+	// MemLatencyNS is the total round-trip main-memory latency (the
+	// paper's tMEM).
+	MemLatencyNS float64
+	// MemOverlap is the fraction of post-L2 stall cycles that actually
+	// block the pipeline. The paper's key observation (Figure 8) is that
+	// search has so little memory-level parallelism that this stays high.
+	MemOverlap float64
+	// FEOverlap is the equivalent blocking fraction for instruction-fetch
+	// stalls (decoupled front-ends hide part of them).
+	FEOverlap float64
+	// FEBandwidthCPI is the fixed decode/deliver inefficiency component
+	// (Top-Down's "front-end bandwidth").
+	FEBandwidthCPI float64
+	// CoreStallCPI is the fixed back-end core component (execution-unit
+	// contention, dependency serialization).
+	CoreStallCPI float64
+}
+
+// Validate reports whether the parameters are usable.
+func (p CoreParams) Validate() error {
+	if p.Width <= 0 {
+		return fmt.Errorf("cpu: core width must be positive")
+	}
+	if p.FreqGHz <= 0 {
+		return fmt.Errorf("cpu: core frequency must be positive")
+	}
+	if p.MemOverlap < 0 || p.MemOverlap > 1 || p.FEOverlap < 0 || p.FEOverlap > 1 {
+		return fmt.Errorf("cpu: overlap factors must be in [0,1]")
+	}
+	return nil
+}
+
+// CyclesFromNS converts a latency in nanoseconds to core cycles.
+func (p CoreParams) CyclesFromNS(ns float64) float64 { return ns * p.FreqGHz }
+
+// EventRates carries the per-instruction event frequencies measured by the
+// cache simulator and branch predictor for one workload.
+type EventRates struct {
+	// BranchMispredicts is mispredicted branches per instruction.
+	BranchMispredicts float64
+	// L1IMisses and L2IMisses are instruction-fetch misses per
+	// instruction at the L1-I and (unified) L2.
+	L1IMisses, L2IMisses float64
+	// L1DMisses and L2DMisses are data misses per instruction at the
+	// L1-D and L2 (L2DMisses is also the L3 data access rate).
+	L1DMisses, L2DMisses float64
+	// L3IMisses is instruction fetches per instruction that miss even the
+	// L3 and fetch from memory: near zero on adequate L3s (the paper's
+	// finding), but the dominant penalty when the shared cache shrinks
+	// below the code working set (the "18 MiB floor" of §IV-B).
+	L3IMisses float64
+	// L3AMATNS is the average post-L2 memory access time in nanoseconds:
+	// the paper's AMAT_L3 = h*tL3 + (1-h)*tMEM, optionally extended with
+	// an L4 term (internal/model computes it).
+	L3AMATNS float64
+}
+
+// Breakdown is the first two levels of the Top-Down hierarchy as fractions
+// of all issue slots; the six fields sum to 1.
+type Breakdown struct {
+	Retiring    float64
+	BadSpec     float64
+	FELatency   float64
+	FEBandwidth float64
+	BECore      float64
+	BEMemory    float64
+}
+
+// Sum returns the total of all categories (1.0 up to rounding).
+func (b Breakdown) Sum() float64 {
+	return b.Retiring + b.BadSpec + b.FELatency + b.FEBandwidth + b.BECore + b.BEMemory
+}
+
+// String implements fmt.Stringer.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("retiring=%.1f%% badspec=%.1f%% fe-lat=%.1f%% fe-bw=%.1f%% be-core=%.1f%% be-mem=%.1f%%",
+		100*b.Retiring, 100*b.BadSpec, 100*b.FELatency, 100*b.FEBandwidth, 100*b.BECore, 100*b.BEMemory)
+}
+
+// Evaluate runs the slot-accounting model: each event class contributes
+// stall cycles per instruction; fractions are cycles relative to total CPI,
+// with the retiring share being the ideal-issue component. It returns the
+// breakdown and the resulting single-thread IPC.
+func (p CoreParams) Evaluate(r EventRates) (Breakdown, float64) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	w := float64(p.Width)
+	cRetire := 1 / w
+	cBadSpec := r.BranchMispredicts * p.MispredPenaltyCycles
+	memCycles := p.CyclesFromNS(p.MemLatencyNS)
+	cFELat := (r.L1IMisses*p.L2LatencyCycles + r.L2IMisses*p.L3LatencyCycles +
+		r.L3IMisses*(memCycles-p.L3LatencyCycles)) * p.FEOverlap
+	cFEBW := p.FEBandwidthCPI
+	cBECore := p.CoreStallCPI
+	cBEMem := (r.L1DMisses*p.L2LatencyCycles + r.L2DMisses*p.CyclesFromNS(r.L3AMATNS)) * p.MemOverlap
+
+	cpi := cRetire + cBadSpec + cFELat + cFEBW + cBECore + cBEMem
+	bd := Breakdown{
+		Retiring:    cRetire / cpi,
+		BadSpec:     cBadSpec / cpi,
+		FELatency:   cFELat / cpi,
+		FEBandwidth: cFEBW / cpi,
+		BECore:      cBECore / cpi,
+		BEMemory:    cBEMem / cpi,
+	}
+	return bd, 1 / cpi
+}
+
+// IPC is a convenience wrapper returning only the modeled IPC.
+func (p CoreParams) IPC(r EventRates) float64 {
+	_, ipc := p.Evaluate(r)
+	return ipc
+}

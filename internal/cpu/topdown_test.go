@@ -1,0 +1,165 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+// paperishCore returns core parameters in the PLT1 (Haswell-like) regime.
+func paperishCore() CoreParams {
+	// Overlap factors and fixed CPI components are calibrated so that the
+	// S1-leaf event rates land on the paper's Figure 3 breakdown at
+	// CPI = 0.78 (IPC 1.28); see TestPaperFigure3Anchor.
+	return CoreParams{
+		Width:                4,
+		FreqGHz:              2.5,
+		MispredPenaltyCycles: 12.7,
+		L2LatencyCycles:      12,
+		L3LatencyCycles:      36,
+		MemLatencyNS:         65,
+		MemOverlap:           0.078,
+		FEOverlap:            0.143,
+		FEBandwidthCPI:       0.076,
+		CoreStallCPI:         0.066,
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	p := paperishCore()
+	r := EventRates{
+		BranchMispredicts: 0.0075,
+		L1IMisses:         0.03, L2IMisses: 0.011,
+		L1DMisses: 0.04, L2DMisses: 0.012,
+		L3AMATNS: 55,
+	}
+	bd, ipc := p.Evaluate(r)
+	if math.Abs(bd.Sum()-1) > 1e-9 {
+		t.Fatalf("breakdown sums to %v", bd.Sum())
+	}
+	if ipc <= 0 || ipc > float64(p.Width) {
+		t.Fatalf("IPC %v out of range", ipc)
+	}
+	if bd.String() == "" {
+		t.Fatal("empty breakdown string")
+	}
+}
+
+func TestIdealWorkloadRetiresEverything(t *testing.T) {
+	p := paperishCore()
+	p.FEBandwidthCPI = 0
+	p.CoreStallCPI = 0
+	bd, ipc := p.Evaluate(EventRates{})
+	if math.Abs(bd.Retiring-1) > 1e-9 {
+		t.Fatalf("no-stall workload retires %v", bd.Retiring)
+	}
+	if math.Abs(ipc-4) > 1e-9 {
+		t.Fatalf("no-stall IPC %v, want width", ipc)
+	}
+}
+
+func TestMemoryStallsGrowWithAMAT(t *testing.T) {
+	p := paperishCore()
+	r := EventRates{L2DMisses: 0.012, L3AMATNS: 40}
+	_, fast := p.Evaluate(r)
+	r.L3AMATNS = 80
+	bdSlow, slow := p.Evaluate(r)
+	if slow >= fast {
+		t.Fatalf("higher AMAT did not lower IPC: %v vs %v", slow, fast)
+	}
+	if bdSlow.BEMemory <= 0 {
+		t.Fatal("no memory-bound slots at 80 ns AMAT")
+	}
+}
+
+func TestMispredictsCreateBadSpec(t *testing.T) {
+	p := paperishCore()
+	bd, _ := p.Evaluate(EventRates{BranchMispredicts: 0.009})
+	if bd.BadSpec < 0.05 {
+		t.Fatalf("9 mispredicts/KI yields only %v bad-spec", bd.BadSpec)
+	}
+}
+
+func TestICacheMissesCreateFELatency(t *testing.T) {
+	p := paperishCore()
+	bd, _ := p.Evaluate(EventRates{L1IMisses: 0.05, L2IMisses: 0.012})
+	if bd.FELatency < 0.05 {
+		t.Fatalf("icache misses yield only %v FE-latency", bd.FELatency)
+	}
+}
+
+// TestPaperFigure3Anchor checks that with S1-leaf-like event rates the model
+// lands near the paper's breakdown: retiring 32%, bad-spec 15.4%, FE-latency
+// 13.8%, FE-bandwidth 9.7%, BE-core 8.5%, BE-memory 20.5%.
+func TestPaperFigure3Anchor(t *testing.T) {
+	p := paperishCore()
+	// Event rates in the neighbourhood of Table I / §III for an S1 leaf:
+	// branch MPKI ~9.5, L1I MPKI ~30, L2I MPKI ~11, L1D MPKI ~40,
+	// L2D MPKI ~12, AMAT_L3 ~55 ns.
+	r := EventRates{
+		BranchMispredicts: 0.0095,
+		L1IMisses:         0.030, L2IMisses: 0.011,
+		L1DMisses: 0.040, L2DMisses: 0.0115,
+		L3AMATNS: 55,
+	}
+	bd, ipc := p.Evaluate(r)
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"retiring", bd.Retiring, 0.32, 0.06},
+		{"badspec", bd.BadSpec, 0.154, 0.05},
+		{"fe-latency", bd.FELatency, 0.138, 0.06},
+		{"fe-bandwidth", bd.FEBandwidth, 0.097, 0.04},
+		{"be-core", bd.BECore, 0.085, 0.04},
+		{"be-memory", bd.BEMemory, 0.205, 0.06},
+		{"ipc", ipc, 1.27, 0.25},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %.3f, paper %.3f (tol %.3f)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestCoreParamsValidate(t *testing.T) {
+	bad := []CoreParams{
+		{},
+		{Width: 4},
+		{Width: 4, FreqGHz: 2, MemOverlap: 1.5},
+		{Width: 4, FreqGHz: 2, FEOverlap: -0.1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := paperishCore().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params accepted")
+		}
+	}()
+	CoreParams{}.Evaluate(EventRates{})
+}
+
+func TestCyclesFromNS(t *testing.T) {
+	p := CoreParams{Width: 4, FreqGHz: 2.5}
+	if got := p.CyclesFromNS(10); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("CyclesFromNS(10) = %v, want 25", got)
+	}
+}
+
+func TestIPCWrapper(t *testing.T) {
+	p := paperishCore()
+	r := EventRates{L2DMisses: 0.01, L3AMATNS: 50}
+	_, want := p.Evaluate(r)
+	if got := p.IPC(r); got != want {
+		t.Fatal("IPC wrapper mismatch")
+	}
+}

@@ -1,0 +1,194 @@
+// Package dram models the timing, bandwidth, and energy of main memory and
+// of the paper's latency-optimized on-package eDRAM L4 cache (§IV-C).
+//
+// The functional (hit/miss) behaviour of the L4 is simulated by
+// internal/cache; this package supplies the constants and arithmetic that
+// turn hit rates into latencies, bandwidth, and energy — mirroring how the
+// paper combines its functional simulator with an analytical model.
+package dram
+
+import "fmt"
+
+// Device captures the first-order characteristics of one memory technology.
+type Device struct {
+	// Name identifies the device ("DDR4", "eDRAM").
+	Name string
+	// AccessLatencyNS is the round-trip access latency seen by the
+	// requesting agent.
+	AccessLatencyNS float64
+	// EnergyPerAccessNJ is the energy of one block transfer. The paper
+	// cites eDRAM access energy as significantly lower than DRAM
+	// [Chang'13 HPCA].
+	EnergyPerAccessNJ float64
+	// PeakBandwidthGBs is the peak sustainable bandwidth.
+	PeakBandwidthGBs float64
+}
+
+// Standard devices used by the experiments. Latencies follow the paper:
+// tMEM in the 50-70 ns range measured on PLT1 (Figure 8b's x-axis), 40 ns
+// for the optimized on-package eDRAM L4, 60 ns for the pessimistic variant.
+var (
+	// DDR4 approximates the PLT1 main-memory system.
+	DDR4 = Device{Name: "DDR4", AccessLatencyNS: 65, EnergyPerAccessNJ: 20, PeakBandwidthGBs: 68}
+	// EDRAM is the on-package embedded-DRAM die the L4 is built from.
+	EDRAM = Device{Name: "eDRAM", AccessLatencyNS: 40, EnergyPerAccessNJ: 6, PeakBandwidthGBs: 102}
+)
+
+// L4Design is the paper's Alloy-style latency-optimized L4 configuration.
+type L4Design struct {
+	// CapacityBytes is the eDRAM capacity.
+	CapacityBytes int64
+	// HitLatencyNS is the L4 hit latency (40 ns baseline, consistent with
+	// commercial eDRAM L4 implementations the paper cites).
+	HitLatencyNS float64
+	// MissPenaltyNS is added to main-memory latency on an L4 miss. The
+	// baseline design performs the L4 tag lookup in parallel with memory
+	// scheduling, making this 0; the pessimistic variant serializes them
+	// (5 ns).
+	MissPenaltyNS float64
+	// ParallelLookup records whether tag lookup overlaps memory
+	// scheduling (documentation of the design point; the latency effect
+	// is carried by MissPenaltyNS).
+	ParallelLookup bool
+	// Associativity is 1 for the direct-mapped baseline (tags and data in
+	// one eDRAM row, one access per hit); the "Associative" sensitivity
+	// configuration in Figure 14 uses a fully-associative model (0).
+	Associativity int
+	// NUMAPenaltyNS is the added cost of reaching a remote socket's L4 in
+	// a multi-socket system (the memory-side placement trade-off).
+	NUMAPenaltyNS float64
+	// RemoteFraction is the fraction of L4 hits served from a remote
+	// socket.
+	RemoteFraction float64
+}
+
+// Validate reports whether the design is consistent.
+func (d L4Design) Validate() error {
+	if d.CapacityBytes <= 0 {
+		return fmt.Errorf("dram: L4 capacity must be positive")
+	}
+	if d.HitLatencyNS <= 0 {
+		return fmt.Errorf("dram: L4 hit latency must be positive")
+	}
+	if d.MissPenaltyNS < 0 || d.NUMAPenaltyNS < 0 {
+		return fmt.Errorf("dram: L4 penalties must be non-negative")
+	}
+	if d.RemoteFraction < 0 || d.RemoteFraction > 1 {
+		return fmt.Errorf("dram: remote fraction must be in [0,1]")
+	}
+	if d.Associativity < 0 {
+		return fmt.Errorf("dram: negative associativity")
+	}
+	return nil
+}
+
+// EffectiveHitLatencyNS returns the average L4 hit latency including NUMA
+// effects.
+func (d L4Design) EffectiveHitLatencyNS() float64 {
+	return d.HitLatencyNS + d.RemoteFraction*d.NUMAPenaltyNS
+}
+
+// BaselineL4 returns the paper's baseline design: direct-mapped, 40 ns hit,
+// parallel lookup (no miss penalty).
+func BaselineL4(capacity int64) L4Design {
+	return L4Design{
+		CapacityBytes:  capacity,
+		HitLatencyNS:   40,
+		MissPenaltyNS:  0,
+		ParallelLookup: true,
+		Associativity:  1,
+	}
+}
+
+// PessimisticL4 returns the paper's pessimistic sensitivity configuration:
+// 60 ns hit latency and a 5 ns serialized miss penalty.
+func PessimisticL4(capacity int64) L4Design {
+	return L4Design{
+		CapacityBytes:  capacity,
+		HitLatencyNS:   60,
+		MissPenaltyNS:  5,
+		ParallelLookup: false,
+		Associativity:  1,
+	}
+}
+
+// AssociativeL4 returns the fully-associative sensitivity configuration used
+// to bound the cost of direct-mapped conflicts (Figure 14, "Associative").
+func AssociativeL4(capacity int64) L4Design {
+	d := BaselineL4(capacity)
+	d.Associativity = 0
+	return d
+}
+
+// Traffic summarizes memory-system transaction counts over a simulated
+// interval, produced by the cache hierarchy.
+type Traffic struct {
+	// L4Hits and L4Misses partition post-L3 demand reads.
+	L4Hits, L4Misses int64
+	// MemReads and MemWrites are main-memory transactions.
+	MemReads, MemWrites int64
+	// BlockBytes is the transfer size per transaction.
+	BlockBytes int
+}
+
+// DRAMFilterRate returns the fraction of would-be DRAM reads absorbed by
+// the L4 (the paper reports ~50% for the 1 GiB L4, the source of its
+// energy advantage).
+func (t Traffic) DRAMFilterRate() float64 {
+	total := t.L4Hits + t.L4Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.L4Hits) / float64(total)
+}
+
+// Energy returns total memory-system access energy in joules: L4 traffic at
+// l4's energy cost plus main-memory traffic at mem's.
+func Energy(t Traffic, l4, mem Device) float64 {
+	l4Accesses := float64(t.L4Hits + t.L4Misses) // every post-L3 read probes the L4 row
+	memAccesses := float64(t.MemReads + t.MemWrites)
+	return (l4Accesses*l4.EnergyPerAccessNJ + memAccesses*mem.EnergyPerAccessNJ) * 1e-9
+}
+
+// BandwidthGBs returns the bandwidth consumed by the transaction stream
+// over the given interval.
+func BandwidthGBs(transactions int64, blockBytes int, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(transactions) * float64(blockBytes) / seconds / 1e9
+}
+
+// WriteBufferSavingsNS models the §V "further benefits" observation: an L4
+// that absorbs writebacks removes write-to-read turnaround (tWRT) stalls
+// from the main-memory read path. The effective read-latency reduction is
+// the share of accesses that would otherwise turn the bus around times the
+// turnaround cost.
+func WriteBufferSavingsNS(writeFrac, tWRTNS float64) float64 {
+	if writeFrac < 0 {
+		writeFrac = 0
+	}
+	if writeFrac > 1 {
+		writeFrac = 1
+	}
+	// Each buffered write spares roughly one read from a turnaround.
+	return writeFrac * tWRTNS
+}
+
+// Utilization returns consumed/peak bandwidth for a device, clamped to
+// [0, 1]. The paper measures production search at 40-50% of peak DRAM
+// bandwidth (vs ~1% for CloudSuite), leaving headroom that the L4 design
+// relies on.
+func Utilization(consumedGBs float64, dev Device) float64 {
+	if dev.PeakBandwidthGBs <= 0 {
+		return 0
+	}
+	u := consumedGBs / dev.PeakBandwidthGBs
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}

@@ -1,0 +1,136 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestL4DesignValidate(t *testing.T) {
+	bad := []L4Design{
+		{},
+		{CapacityBytes: 1 << 30}, // zero hit latency
+		{CapacityBytes: 1 << 30, HitLatencyNS: 40, MissPenaltyNS: -1},
+		{CapacityBytes: 1 << 30, HitLatencyNS: 40, RemoteFraction: 1.5},
+		{CapacityBytes: 1 << 30, HitLatencyNS: 40, Associativity: -2},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	for _, d := range []L4Design{BaselineL4(1 << 30), PessimisticL4(1 << 30), AssociativeL4(1 << 30)} {
+		if err := d.Validate(); err != nil {
+			t.Errorf("preset rejected: %v", err)
+		}
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	b := BaselineL4(1 << 30)
+	if b.HitLatencyNS != 40 || b.MissPenaltyNS != 0 || !b.ParallelLookup || b.Associativity != 1 {
+		t.Fatalf("baseline preset wrong: %+v", b)
+	}
+	p := PessimisticL4(1 << 30)
+	if p.HitLatencyNS != 60 || p.MissPenaltyNS != 5 || p.ParallelLookup {
+		t.Fatalf("pessimistic preset wrong: %+v", p)
+	}
+	a := AssociativeL4(1 << 30)
+	if a.Associativity != 0 || a.HitLatencyNS != 40 {
+		t.Fatalf("associative preset wrong: %+v", a)
+	}
+}
+
+func TestEffectiveHitLatency(t *testing.T) {
+	d := BaselineL4(1 << 30)
+	d.NUMAPenaltyNS = 20
+	d.RemoteFraction = 0.5
+	if got := d.EffectiveHitLatencyNS(); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("effective hit latency %v, want 50", got)
+	}
+	if got := BaselineL4(1 << 30).EffectiveHitLatencyNS(); got != 40 {
+		t.Fatalf("single-socket latency %v", got)
+	}
+}
+
+func TestDRAMFilterRate(t *testing.T) {
+	tr := Traffic{L4Hits: 50, L4Misses: 50}
+	if got := tr.DRAMFilterRate(); got != 0.5 {
+		t.Fatalf("filter rate %v", got)
+	}
+	if got := (Traffic{}).DRAMFilterRate(); got != 0 {
+		t.Fatalf("empty filter rate %v", got)
+	}
+}
+
+func TestEnergyPrefersEDRAM(t *testing.T) {
+	// The same post-L3 read stream costs less energy when the L4 absorbs
+	// half of it (eDRAM energy/access < DRAM energy/access).
+	withL4 := Traffic{L4Hits: 500, L4Misses: 500, MemReads: 500, BlockBytes: 64}
+	noL4 := Traffic{L4Misses: 1000, MemReads: 1000, BlockBytes: 64}
+	eWith := Energy(withL4, EDRAM, DDR4)
+	eWithout := Energy(noL4, EDRAM, DDR4)
+	if eWith >= eWithout {
+		t.Fatalf("L4 did not reduce memory energy: %v vs %v", eWith, eWithout)
+	}
+}
+
+func TestEnergyUnits(t *testing.T) {
+	tr := Traffic{MemReads: 1}
+	got := Energy(tr, EDRAM, Device{EnergyPerAccessNJ: 20})
+	if math.Abs(got-20e-9) > 1e-18 {
+		t.Fatalf("1 access at 20 nJ = %v J", got)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	// 1e9 transactions of 64 B over 1 s = 64 GB/s.
+	if got := BandwidthGBs(1e9, 64, 1); math.Abs(got-64) > 1e-9 {
+		t.Fatalf("bandwidth %v", got)
+	}
+	if BandwidthGBs(100, 64, 0) != 0 {
+		t.Fatal("zero interval must give 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	if got := Utilization(34, DDR4); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utilization %v, want 0.5", got)
+	}
+	if Utilization(1000, DDR4) != 1 {
+		t.Fatal("not clamped to 1")
+	}
+	if Utilization(-5, DDR4) != 0 {
+		t.Fatal("not clamped to 0")
+	}
+	if Utilization(10, Device{}) != 0 {
+		t.Fatal("zero-peak device must give 0")
+	}
+}
+
+func TestDeviceConstants(t *testing.T) {
+	// The modeled relationship the paper relies on: eDRAM is faster and
+	// cheaper per access than commodity DRAM.
+	if EDRAM.AccessLatencyNS >= DDR4.AccessLatencyNS {
+		t.Fatal("eDRAM must be faster than DRAM")
+	}
+	if EDRAM.EnergyPerAccessNJ >= DDR4.EnergyPerAccessNJ {
+		t.Fatal("eDRAM must cost less energy than DRAM")
+	}
+}
+
+func TestWriteBufferSavings(t *testing.T) {
+	// No writes, no savings; all-write streams save the full turnaround.
+	if WriteBufferSavingsNS(0, 8) != 0 {
+		t.Fatal("savings without writes")
+	}
+	if got := WriteBufferSavingsNS(1, 8); got != 8 {
+		t.Fatalf("full-write savings %v", got)
+	}
+	if got := WriteBufferSavingsNS(0.25, 8); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("quarter-write savings %v", got)
+	}
+	// Clamped inputs.
+	if WriteBufferSavingsNS(-1, 8) != 0 || WriteBufferSavingsNS(2, 8) != 8 {
+		t.Fatal("clamping broken")
+	}
+}

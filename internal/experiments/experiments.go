@@ -1,0 +1,303 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a registered, parameterized runner that
+// returns a renderable result (a table or a set of series) whose rows match
+// the paper's presentation.
+//
+// Experiments accept an Options scale so the same code serves fast unit
+// tests (shrunken profiles, short budgets) and the full benchmark harness
+// (bench_test.go / cmd/searchsim).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"searchmem/internal/platform"
+	"searchmem/internal/workload"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Shrink divides workload sizes (1 = full calibrated scale).
+	Shrink int
+	// Budget is the measured instruction budget per configuration.
+	Budget int64
+	// Threads is the trace thread count for multi-threaded measurements.
+	Threads int
+	// Seed varies the input streams.
+	Seed uint64
+	// Verbose enables progress output via Logf.
+	Logf func(format string, args ...any)
+}
+
+// Fast returns options for quick runs (unit tests).
+func Fast() Options {
+	return Options{Shrink: 8, Budget: 800_000, Threads: 4, Seed: 1}
+}
+
+// Full returns options at calibrated scale (benchmarks, cmd/searchsim).
+func Full() Options {
+	return Options{Shrink: 1, Budget: 6_000_000, Threads: 16, Seed: 1}
+}
+
+// logf logs progress when a logger is attached.
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Result is a renderable experiment outcome.
+type Result interface {
+	Render() string
+}
+
+// Experiment is one registered reproduction.
+type Experiment struct {
+	// ID is the lookup key ("table1", "fig6b", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperRef cites the paper's table/figure.
+	PaperRef string
+	// Run executes the experiment within a context.
+	Run func(*Context) (Result, error)
+}
+
+// registry holds all experiments in registration order.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments in order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Context carries options and caches expensive workload builds across
+// experiments in one session.
+type Context struct {
+	Opts Options
+
+	mu      sync.Mutex
+	runners map[string]*workload.SearchRunner
+
+	curveMu sync.Mutex
+	curves  map[int]any
+}
+
+// NewContext returns a context with the given options.
+func NewContext(opts Options) *Context {
+	if opts.Shrink <= 0 {
+		opts.Shrink = 1
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 6_000_000
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 16
+	}
+	return &Context{
+		Opts:    opts,
+		runners: make(map[string]*workload.SearchRunner),
+		curves:  make(map[int]any),
+	}
+}
+
+// runner builds (or returns the cached) runner for a search profile.
+func (c *Context) runner(key string, build func() workload.SearchWorkload) *workload.SearchRunner {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.runners[key]; ok {
+		return r
+	}
+	c.Opts.logf("building workload %s (shrink %d)...", key, c.Opts.Shrink)
+	r := build().Build()
+	c.runners[key] = r
+	return r
+}
+
+// Leaf returns the cached S1-leaf micro runner.
+func (c *Context) Leaf() *workload.SearchRunner {
+	return c.runner("s1-leaf", func() workload.SearchWorkload { return workload.S1Leaf(c.Opts.Shrink) })
+}
+
+// Sweep returns the cached S1-leaf capacity-sweep runner.
+func (c *Context) Sweep() *workload.SearchRunner {
+	return c.runner("s1-leaf-sweep", func() workload.SearchWorkload { return workload.S1LeafSweep(c.Opts.Shrink) })
+}
+
+// PLT1 returns the PLT1 platform (full scale: experiments on micro profiles
+// simulate the real cache sizes).
+func (c *Context) PLT1() platform.Platform { return platform.PLT1() }
+
+// PLT2 returns the PLT2 platform.
+func (c *Context) PLT2() platform.Platform { return platform.PLT2() }
+
+// --- renderable result types ---
+
+// Table is a titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Note is appended under the table (provenance, units).
+	Note string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render implements Result with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a titled set of series sharing an x-axis.
+type Figure struct {
+	Title          string
+	XLabel, YLabel string
+	Series         []Series
+	Note           string
+}
+
+// Add appends a point to the named series, creating it on first use.
+func (f *Figure) Add(name string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			f.Series[i].X = append(f.Series[i].X, x)
+			f.Series[i].Y = append(f.Series[i].Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Name: name, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the named series, or nil.
+func (f *Figure) Get(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Render implements Result: one row per x value, one column per series.
+func (f *Figure) Render() string {
+	// Collect the union of x values.
+	xs := map[float64]struct{}{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = struct{}{}
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	t := Table{Title: fmt.Sprintf("%s\n(y: %s)", f.Title, f.YLabel), Note: f.Note}
+	t.Headers = append(t.Headers, f.XLabel)
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+	}
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i := range s.X {
+				if s.X[i] == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// trimFloat formats a float compactly.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// pct formats a fraction as a percentage string.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// mib formats a byte count in MiB.
+func mib(b int64) string { return fmt.Sprintf("%d", b>>20) }

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure in the paper's evaluation must be present.
+	want := []string{
+		"table1", "table2",
+		"fig2a", "fig2b", "fig2c",
+		"fig3", "fig4", "fig5",
+		"fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b",
+		"fig8a", "fig8b",
+		"fig9", "fig10", "fig11",
+		"fig13", "fig14",
+		"explore",                       // §IV extension: design-space search
+		"splitl2",                       // §V extension: split I/D L2 what-if
+		"missclass", "bandwidth", "slo", // §II-§IV extensions
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, ok := ByID("table1")
+	if !ok || e.ID != "table1" || e.PaperRef != "Table I" {
+		t.Fatalf("ByID(table1) = %+v, %v", e, ok)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+	if len(All()) != len(IDs()) {
+		t.Fatal("All/IDs mismatch")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "bee"}, Note: "n"}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.Render()
+	for _, want := range []string{"T\n", "a    bee", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "F", XLabel: "x", YLabel: "y"}
+	f.Add("s1", 1, 0.5)
+	f.Add("s1", 2, 0.75)
+	f.Add("s2", 1, 0.25)
+	out := f.Render()
+	for _, want := range []string{"F", "s1", "s2", "0.5", "0.75", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if s := f.Get("s1"); s == nil || len(s.X) != 2 {
+		t.Fatal("Get failed")
+	}
+	if f.Get("zzz") != nil {
+		t.Fatal("Get found missing series")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 1.5: "1.5", 0.25: "0.25", 0: "0", -2.5: "-2.5"}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestAllExperimentsFast runs every registered experiment at fast scale and
+// checks it produces a non-empty rendering without error. This is the
+// end-to-end smoke test of the whole reproduction pipeline.
+func TestAllExperimentsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	opts := Fast()
+	opts.Logf = t.Logf
+	ctx := NewContext(opts)
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := res.Render()
+			if len(out) < 20 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestTable2Exact(t *testing.T) {
+	ctx := NewContext(Fast())
+	res, err := ByIDMust("table2").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	// Table II attributes, verbatim from the paper.
+	for _, want := range []string{
+		"Intel Haswell", "IBM POWER8", "18", "12", "64 B", "128 B",
+		"32 KiB", "256 KiB", "512 KiB", "45 MiB", "96 MiB",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q", want)
+		}
+	}
+}
+
+// ByIDMust is a test helper.
+func ByIDMust(id string) Experiment {
+	e, ok := ByID(id)
+	if !ok {
+		panic("missing experiment " + id)
+	}
+	return e
+}
+
+func TestFig2bAnchors(t *testing.T) {
+	ctx := NewContext(Fast())
+	res, err := ByIDMust("fig2b").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := res.(*Figure)
+	p1 := fig.Get("PLT1 (Haswell)")
+	if p1 == nil || p1.Y[0] < 1.3 || p1.Y[0] > 1.45 {
+		t.Fatalf("PLT1 SMT-2 = %v, want ~1.37", p1)
+	}
+	p2 := fig.Get("PLT2 (POWER8)")
+	if p2 == nil || len(p2.Y) != 3 {
+		t.Fatal("PLT2 series incomplete")
+	}
+	if p2.Y[2] < 3.0 || p2.Y[2] > 3.5 {
+		t.Fatalf("PLT2 SMT-8 = %v, want ~3.24", p2.Y[2])
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"searchmem/internal/cache"
+	"searchmem/internal/dram"
+	"searchmem/internal/serving"
+	"searchmem/internal/trace"
+	"searchmem/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "missclass",
+		Title:    "L3 miss classification by segment (cold/capacity/conflict)",
+		PaperRef: "§III-C (extension)",
+		Run:      runMissClass,
+	})
+	register(Experiment{
+		ID:       "bandwidth",
+		Title:    "DRAM bandwidth utilization: production search vs CloudSuite",
+		PaperRef: "§II-D (extension)",
+		Run:      runBandwidth,
+	})
+	register(Experiment{
+		ID:       "slo",
+		Title:    "Per-query latency under the rebalanced design",
+		PaperRef: "§IV-B (extension)",
+		Run:      runSLO,
+	})
+}
+
+// runMissClass reproduces the §III-C discussion as numbers: shard misses
+// are mostly cold, heap misses mostly capacity, and conflicts are a small
+// share everywhere.
+func runMissClass(c *Context) (Result, error) {
+	o := c.Opts
+	plat := c.PLT1()
+	// Classify the 16-thread sweep trace against a paper-equivalent L3
+	// (32 MiB-paper at sweep scale): the GiB-scale heap working set is
+	// what produces the paper's capacity misses. Cold/capacity/conflict
+	// proportions are driven by block-level reuse, which upstream L1/L2
+	// filtering preserves (Mattson inclusion).
+	l3 := plat.L3
+	l3.Size = workload.SimUnits(32 << 20)
+	l3.Assoc = 16 // keep blocks/ways divisibility at the scaled size
+	cl := cache.NewClassifier(l3)
+	c.Sweep().Run(min(o.Threads, 16), o.Budget*2, o.Seed+41, workload.Sinks{Access: cl.Observe})
+
+	t := &Table{
+		Title:   "L3 miss classification by segment (32 MiB-paper, sweep scale)",
+		Headers: []string{"segment", "cold", "capacity", "conflict", "hits"},
+		Note:    "paper §III-C: shard accesses mostly cold, heap mostly capacity, conflicts minor, no coherence misses (no read-write sharing)",
+	}
+	for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
+		total := cl.Misses(seg) + cl.Hits[seg]
+		if total == 0 {
+			continue
+		}
+		t.AddRow(seg.String(),
+			fmt.Sprintf("%d", cl.Counts[seg][cache.MissCold]),
+			fmt.Sprintf("%d", cl.Counts[seg][cache.MissCapacity]),
+			fmt.Sprintf("%d", cl.Counts[seg][cache.MissConflict]),
+			fmt.Sprintf("%d", cl.Hits[seg]))
+	}
+	t.AddRow("conflict share", "", "", pct(cl.ClassShare(cache.MissConflict)), "")
+	return t, nil
+}
+
+// runBandwidth reproduces the §II-D bandwidth contrast: production search
+// consumes 40-50% of peak DRAM bandwidth, CloudSuite ~1%.
+func runBandwidth(c *Context) (Result, error) {
+	o := c.Opts
+	plat := c.PLT1()
+	measure := func(r workload.Runner) (util float64, gbs float64) {
+		m := workload.Measure(r, workload.MeasureConfig{
+			Platform: plat,
+			Cores:    1, SMTWays: 1, Threads: 1,
+			Budget:         o.Budget,
+			Seed:           o.Seed + 43,
+			WarmupFraction: 1.5,
+		})
+		// Socket-level bandwidth: per-core transaction rate scaled to all
+		// cores running at the modeled IPC.
+		instrPerSec := m.IPC * plat.Core.FreqGHz * 1e9 * float64(plat.CoresPerSocket) * plat.SMT.Speedup(2)
+		transPerSec := m.DRAMPerKI / 1000 * instrPerSec
+		gbs = transPerSec * float64(plat.CacheBlock) / 1e9
+		return dram.Utilization(gbs, dram.DDR4), gbs
+	}
+	sUtil, sGBs := measure(c.Leaf())
+	cUtil, cGBs := measure(workload.CloudSuiteWebSearch().Build())
+	t := &Table{
+		Title:   "Socket DRAM bandwidth at full load (modeled)",
+		Headers: []string{"workload", "GB/s", "of peak"},
+		Note:    "paper §II-D: production search 40-50% of peak DRAM bandwidth; CloudSuite ~1%",
+	}
+	t.AddRow("S1 leaf", fmt.Sprintf("%.1f", sGBs), pct(sUtil))
+	t.AddRow("CloudSuite WS", fmt.Sprintf("%.1f", cGBs), pct(cUtil))
+	return t, nil
+}
+
+// runSLO checks the paper's §IV-B claim that the rebalanced design keeps
+// per-query latency within the service-level objective: leaf service times
+// scale with 1/IPC, so a design with equal-or-better IPC cannot blow the
+// tail; the serving tree quantifies it end to end.
+func runSLO(c *Context) (Result, error) {
+	pm := newPerfModel(c)
+	ipcBase := pm.ipcAt(45<<20, 0, 0, 0)
+	ipcRebal := pm.ipcAt(23<<20, 0, 0, 0)
+
+	run := func(nsPerInstrScale float64, seed uint64) serving.LoadStats {
+		cfg := serving.DefaultConfig()
+		cfg.Leaves = 16
+		cfg.LeafCapacity = 32
+		cl := serving.NewCluster(cfg, scaledExecutors(16, nsPerInstrScale))
+		return serving.RunLoad(cl, 8, 250, 3000, 0.9, seed)
+	}
+	base := run(1/ipcBase, 7)
+	rebal := run(1/ipcRebal, 7)
+
+	t := &Table{
+		Title:   "Per-query latency: baseline vs rebalanced (23-core) design",
+		Headers: []string{"design", "mean ms", "p95 ms", "p99 ms"},
+		Note:    "paper §IV-B: average and tail latency remain well within the SLO after rebalancing",
+	}
+	t.AddRow("18-core baseline",
+		fmt.Sprintf("%.2f", base.MeanLatencyNS/1e6),
+		fmt.Sprintf("%.2f", base.P95NS/1e6),
+		fmt.Sprintf("%.2f", base.P99NS/1e6))
+	t.AddRow("23-core rebalanced",
+		fmt.Sprintf("%.2f", rebal.MeanLatencyNS/1e6),
+		fmt.Sprintf("%.2f", rebal.P95NS/1e6),
+		fmt.Sprintf("%.2f", rebal.P99NS/1e6))
+	return t, nil
+}
+
+// scaledExecutors builds synthetic leaves whose service time scales with
+// the per-instruction cost of the design under test.
+func scaledExecutors(n int, scale float64) []serving.Executor {
+	out := make([]serving.Executor, n)
+	for i := range out {
+		e := serving.NewSyntheticExecutor(uint32(i), 10)
+		e.BaseLatencyNS *= scale
+		e.PerTermNS *= scale
+		out[i] = e
+	}
+	return out
+}

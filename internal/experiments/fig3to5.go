@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"searchmem/internal/trace"
+	"searchmem/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "fig3",
+		Title:    "Top-Down breakdown of an S1 leaf on PLT1",
+		PaperRef: "Figure 3",
+		Run:      runFig3,
+	})
+	register(Experiment{
+		ID:       "fig4",
+		Title:    "Allocated memory footprint as cores scale",
+		PaperRef: "Figure 4",
+		Run:      runFig4,
+	})
+	register(Experiment{
+		ID:       "fig5",
+		Title:    "Accessed working set for heap and shard as threads scale",
+		PaperRef: "Figure 5",
+		Run:      runFig5,
+	})
+}
+
+func runFig3(c *Context) (Result, error) {
+	o := c.Opts
+	m := workload.Measure(c.Leaf(), workload.MeasureConfig{
+		Platform: c.PLT1(),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget:         o.Budget,
+		Seed:           o.Seed,
+		WarmupFraction: 2.0,
+	})
+	t := &Table{
+		Title:   "Figure 3: Top-Down execution-slot breakdown (S1 leaf, PLT1)",
+		Headers: []string{"category", "reproduced", "paper"},
+		Note:    "slots as % of issue slots; paper values from Figure 3",
+	}
+	bd := m.Breakdown
+	rows := []struct {
+		name  string
+		got   float64
+		paper string
+	}{
+		{"Retiring", bd.Retiring, "32.0%"},
+		{"Bad Speculation", bd.BadSpec, "15.4%"},
+		{"FrontEnd: Latency", bd.FELatency, "13.8%"},
+		{"FrontEnd: BW", bd.FEBandwidth, "9.7%"},
+		{"BackEnd: Core", bd.BECore, "8.5%"},
+		{"BackEnd: Memory", bd.BEMemory, "20.5%"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, pct(r.got), r.paper)
+	}
+	return t, nil
+}
+
+// runFig4 measures the allocated footprint per segment as the number of
+// active cores (sessions) scales: per-thread state (accumulators, stacks)
+// grows linearly but the shared index structures dominate, so the heap
+// grows sublinearly — the paper's key observation.
+func runFig4(c *Context) (Result, error) {
+	o := c.Opts
+	fig := &Figure{
+		Title:  "Figure 4: allocated footprint vs cores (MiB, code/stack/heap)",
+		XLabel: "cores", YLabel: "footprint MiB",
+		Note: "shard (not shown) dominates at 100s of GiB-equivalent; heap ~10x code/stack and sublinear",
+	}
+	for _, cores := range []int{6, 16, 26, 36} {
+		// A fresh workload instance sized for this many sessions.
+		wl := workload.S1Leaf(o.Shrink)
+		wl.Engine.MaxSessions = cores + 1
+		r := wl.Build()
+		// Activate one session per core (warm run binds them).
+		r.Run(cores, int64(cores)*20_000, o.Seed, workload.Sinks{})
+		space := r.Space()
+		fig.Add("code", float64(cores), float64(space.FootprintBytes(trace.Code))/(1<<20))
+		fig.Add("stack", float64(cores), float64(space.FootprintBytes(trace.Stack))/(1<<20))
+		fig.Add("heap", float64(cores), float64(space.FootprintBytes(trace.Heap))/(1<<20))
+	}
+	return fig, nil
+}
+
+// runFig5 measures the accessed working set per segment as threads scale on
+// the sweep profile, in paper-equivalent GiB.
+func runFig5(c *Context) (Result, error) {
+	o := c.Opts
+	fig := &Figure{
+		Title:  "Figure 5: accessed working set vs threads (paper-equivalent GiB)",
+		XLabel: "threads", YLabel: "working set GiB",
+		Note: "heap grows sublinearly toward ~1 GiB (shared structures); shard grows with threads",
+	}
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		if threads > o.Threads*2 {
+			break
+		}
+		wl := workload.S1LeafSweep(o.Shrink)
+		r := wl.Build()
+		ws := trace.NewWorkingSet(64)
+		budget := o.Budget / 2 * int64(threads)
+		r.Run(threads, budget, o.Seed, workload.Sinks{Access: ws.Observe})
+		fig.Add("heap", float64(threads),
+			float64(workload.PaperUnits(int64(ws.Bytes(trace.Heap))))/(1<<30))
+		fig.Add("shard", float64(threads),
+			float64(workload.PaperUnits(int64(ws.Bytes(trace.Shard))))/(1<<30))
+	}
+	return fig, nil
+}
+
+// stackDistFromRun runs a workload and returns per-segment profilers plus
+// the instruction count (shared by the capacity-sweep experiments).
+func stackDistFromRun(r workload.Runner, threads int, budget int64, seed uint64, l2eff int64) (*segmentStackDists, int64) {
+	sds := newSegmentStackDists(l2eff)
+	st := r.Run(threads, budget, seed, workload.Sinks{Access: sds.Observe})
+	return sds, st.Instructions
+}
+
+// combinedCurveFromRun runs a workload into a single global-distance
+// profiler (for combined L3 curves at micro scale).
+func combinedCurveFromRun(r workload.Runner, threads int, budget int64, seed uint64) (*l3Curve, int64) {
+	sd := newL3Curve()
+	st := r.Run(threads, budget, seed, workload.Sinks{Access: sd.Observe})
+	return sd, st.Instructions
+}

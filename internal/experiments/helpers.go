@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"searchmem/internal/cache"
+	"searchmem/internal/trace"
+)
+
+// cacheStackDist augments the one-pass stack-distance profiler with
+// cross-segment totals and the post-L2 hit-rate conventions shared by the
+// capacity-sweep experiments.
+type cacheStackDist struct {
+	*cache.StackDist
+}
+
+// newL3Curve returns a fresh combined-curve profiler at 64 B blocks.
+func newL3Curve() *l3Curve {
+	return &l3Curve{sd: &cacheStackDist{cache.NewStackDist(64)}}
+}
+
+// TotalMisses sums misses at a capacity across segments.
+func (s *cacheStackDist) TotalMisses(capacity int64) float64 {
+	var m float64
+	for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
+		m += s.Misses(seg, capacity)
+	}
+	return m
+}
+
+// SegHitRate returns a segment's post-L2 hit rate at a capacity, optionally
+// excluding cold misses (steady-state view for finite working sets; see
+// DESIGN.md and the calibration tests).
+func (s *cacheStackDist) SegHitRate(seg trace.Segment, capacity int64, excludeCold bool) float64 {
+	var cold float64
+	if excludeCold {
+		cold = float64(s.ColdMisses(seg))
+	}
+	l2eff := s.l2eff()
+	base := s.Misses(seg, l2eff) - cold
+	if base <= 0 {
+		return 1
+	}
+	h := 1 - (s.Misses(seg, capacity)-cold)/base
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// l2eff is the aggregate private-cache capacity assumed in front of the
+// modeled L3 (16 threads' worth of 256 KiB L2s at micro scale).
+func (s *cacheStackDist) l2eff() int64 { return 16 * 256 << 10 }
+
+// segmentStackDists is a per-segment profiler set (segment-local reuse
+// distances; see calibration notes on why per-segment curves use local
+// distances at sweep scale).
+type segmentStackDists struct {
+	sds   [trace.NumSegments]*cache.StackDist
+	l2eff int64
+}
+
+func newSegmentStackDists(l2eff int64) *segmentStackDists {
+	s := &segmentStackDists{l2eff: l2eff}
+	for i := range s.sds {
+		s.sds[i] = cache.NewStackDist(64)
+	}
+	return s
+}
+
+// Observe routes an access to its segment's profiler.
+func (s *segmentStackDists) Observe(a trace.Access) { s.sds[a.Seg].Observe(a) }
+
+// hitRate returns a segment's post-L2 hit rate at a capacity. Cold misses
+// are excluded for code and heap (finite, amortized working sets) and
+// included for the shard (structural cold misses), matching the paper's
+// steady-state traces.
+func (s *segmentStackDists) hitRate(seg trace.Segment, capacity int64) float64 {
+	sd := s.sds[seg]
+	var cold float64
+	if seg == trace.Code || seg == trace.Heap {
+		cold = float64(sd.ColdMisses(seg))
+	}
+	base := sd.Misses(seg, s.l2eff) - cold
+	if base <= 0 {
+		return 1
+	}
+	h := 1 - (sd.Misses(seg, capacity)-cold)/base
+	if h < 0 {
+		return 0
+	}
+	if h > 1 {
+		return 1
+	}
+	return h
+}
+
+// mpki returns a segment's misses per kilo-instruction at a capacity.
+func (s *segmentStackDists) mpki(seg trace.Segment, capacity int64, instructions int64) float64 {
+	return s.sds[seg].SegMPKI(seg, capacity, instructions)
+}
+
+// combinedMPKI sums per-segment MPKIs.
+func (s *segmentStackDists) combinedMPKI(capacity int64, instructions int64) float64 {
+	var m float64
+	for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
+		m += s.mpki(seg, capacity, instructions)
+	}
+	return m
+}

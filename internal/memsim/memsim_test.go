@@ -1,0 +1,222 @@
+package memsim
+
+import (
+	"testing"
+
+	"searchmem/internal/trace"
+)
+
+func collectSpace() (*Space, *[]trace.Access) {
+	var accs []trace.Access
+	s := NewSpace(func(a trace.Access) { accs = append(accs, a) })
+	return s, &accs
+}
+
+func TestArenaLayout(t *testing.T) {
+	s, _ := collectSpace()
+	a := s.NewArena("shard0", trace.Shard, 1024)
+	b := s.NewArena("shard1", trace.Shard, 1024)
+	h := s.NewArena("heap0", trace.Heap, 1024)
+	if a.Base() != ShardBase {
+		t.Fatalf("first shard arena at 0x%x", a.Base())
+	}
+	if b.Base() != ShardBase+1024 {
+		t.Fatalf("second shard arena at 0x%x", b.Base())
+	}
+	if h.Base() != HeapBase {
+		t.Fatalf("heap arena at 0x%x", h.Base())
+	}
+	if a.Segment() != trace.Shard || a.Name() != "shard0" || a.Size() != 1024 {
+		t.Fatal("arena metadata wrong")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	s, _ := collectSpace()
+	a := s.NewArena("h", trace.Heap, 1024)
+	p1 := a.Alloc(3, 0)
+	p2 := a.Alloc(8, 8)
+	if p1 != a.Base() {
+		t.Fatalf("first alloc at 0x%x", p1)
+	}
+	if p2%8 != 0 || p2 < p1+3 {
+		t.Fatalf("aligned alloc at 0x%x", p2)
+	}
+	if a.Used() != (p2-a.Base())+8 {
+		t.Fatalf("used = %d", a.Used())
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	s, _ := collectSpace()
+	a := s.NewArena("h", trace.Heap, 16)
+	a.Alloc(16, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted arena did not panic")
+		}
+	}()
+	a.Alloc(1, 0)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s, accs := collectSpace()
+	a := s.NewArena("h", trace.Heap, 64)
+	addr := a.Alloc(16, 8)
+	a.WriteU32(1, addr, 0xdeadbeef)
+	a.WriteU64(1, addr+8, 0x0123456789abcdef)
+	if got := a.ReadU32(1, addr); got != 0xdeadbeef {
+		t.Fatalf("ReadU32 = %x", got)
+	}
+	if got := a.ReadU64(1, addr+8); got != 0x0123456789abcdef {
+		t.Fatalf("ReadU64 = %x", got)
+	}
+	a.WriteU8(2, addr, 7)
+	if got := a.ReadU8(2, addr); got != 7 {
+		t.Fatalf("ReadU8 = %d", got)
+	}
+	// 6 recorded accesses with correct metadata.
+	if len(*accs) != 6 {
+		t.Fatalf("recorded %d accesses", len(*accs))
+	}
+	first := (*accs)[0]
+	if first.Kind != trace.Write || first.Seg != trace.Heap || first.Thread != 1 || first.Size != 4 || first.Addr != addr {
+		t.Fatalf("first access: %+v", first)
+	}
+}
+
+func TestVarintAccess(t *testing.T) {
+	s, accs := collectSpace()
+	a := s.NewArena("sh", trace.Shard, 64)
+	addr := a.Alloc(16, 0)
+	buf := make([]byte, 16)
+	// 300 encodes to 2 bytes.
+	n := putUvarintHelper(buf, 300)
+	a.WriteRaw(addr, buf[:n])
+	v, got := a.ReadUvarint(3, addr)
+	if v != 300 || got != 2 {
+		t.Fatalf("varint read: v=%d n=%d", v, got)
+	}
+	last := (*accs)[len(*accs)-1]
+	if last.Size != 2 || last.Seg != trace.Shard {
+		t.Fatalf("varint access: %+v", last)
+	}
+}
+
+func putUvarintHelper(buf []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	return i + 1
+}
+
+func TestBoundsChecking(t *testing.T) {
+	s, _ := collectSpace()
+	a := s.NewArena("h", trace.Heap, 64)
+	cases := []func(){
+		func() { a.ReadU8(0, a.Base()-1) },
+		func() { a.ReadU32(0, a.Base()+61) },
+		func() { a.ReadU64(0, a.Base()+60) },
+		func() { a.Touch(0, a.Base()+60, 8, trace.Read) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: out-of-bounds access allowed", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMutedRecorder(t *testing.T) {
+	count := 0
+	s := NewSpace(func(trace.Access) { count++ })
+	a := s.NewArena("h", trace.Heap, 64)
+	addr := a.Alloc(8, 0)
+	s.SetRecorder(nil)
+	a.WriteU32(0, addr, 1)
+	a.ReadU32(0, addr)
+	if count != 0 {
+		t.Fatalf("muted recorder got %d accesses", count)
+	}
+	s.SetRecorder(func(trace.Access) { count++ })
+	a.ReadU32(0, addr)
+	if count != 1 {
+		t.Fatal("re-attached recorder missed the access")
+	}
+}
+
+func TestThreadStacks(t *testing.T) {
+	s, accs := collectSpace()
+	s0 := s.ThreadStackArena(0, 4096)
+	s1 := s.ThreadStackArena(1, 4096)
+	if s1.Base()-s0.Base() != StackStride {
+		t.Fatalf("stack stride: 0x%x", s1.Base()-s0.Base())
+	}
+	s0.Touch(0, s0.Base(), 64, trace.Write)
+	if (*accs)[0].Seg != trace.Stack {
+		t.Fatal("stack access mislabeled")
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	s, _ := collectSpace()
+	h1 := s.NewArena("h1", trace.Heap, 1024)
+	h2 := s.NewArena("h2", trace.Heap, 2048)
+	h1.Alloc(100, 0)
+	h2.Alloc(200, 0)
+	if got := s.FootprintBytes(trace.Heap); got != 300 {
+		t.Fatalf("heap footprint %d, want 300", got)
+	}
+	if got := s.ReservedBytes(trace.Heap); got != 3072 {
+		t.Fatalf("heap reserved %d, want 3072", got)
+	}
+	if got := s.FootprintBytes(trace.Shard); got != 0 {
+		t.Fatalf("shard footprint %d, want 0", got)
+	}
+}
+
+func TestWriteReadRaw(t *testing.T) {
+	s, accs := collectSpace()
+	a := s.NewArena("sh", trace.Shard, 64)
+	addr := a.Alloc(8, 0)
+	a.WriteRaw(addr, []byte{1, 2, 3})
+	got := a.ReadRaw(addr, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatal("raw round trip failed")
+	}
+	if len(*accs) != 0 {
+		t.Fatal("raw access was recorded")
+	}
+}
+
+func TestBadArenaPanics(t *testing.T) {
+	s, _ := collectSpace()
+	for i, f := range []func(){
+		func() { s.NewArena("bad", trace.Heap, 0) },
+		func() {
+			a := s.NewArena("h", trace.Heap, 64)
+			a.Alloc(-1, 0)
+		},
+		func() {
+			a := s.NewArena("h2", trace.Heap, 64)
+			a.Alloc(8, 3)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,154 @@
+package search
+
+// Conjunctive (AND) evaluation: document-at-a-time intersection of posting
+// lists, the second workhorse query mode of production engines next to the
+// term-at-a-time disjunction in Execute. The rarest term drives; candidate
+// documents are verified against every other list with forward-only scans.
+// Memory behaviour: mostly sequential shard reads over the driving list
+// with skippy forward reads over the others — a harsher shard pattern and a
+// lighter accumulator load than Execute.
+
+// postingCursor walks one serialized posting list through the instrumented
+// shard.
+type postingCursor struct {
+	eng    *Engine
+	tid    uint8
+	addr   uint64
+	end    uint64
+	doc    uint32
+	tf     uint32
+	df     uint32
+	idf    float64
+	opened bool
+}
+
+// openCursor positions a cursor at the start of term's posting list,
+// returning false for absent terms.
+func (e *Engine) openCursor(tid uint8, term uint32) (postingCursor, bool) {
+	if term >= uint32(e.cfg.Corpus.VocabSize) {
+		return postingCursor{}, false
+	}
+	off, df, nBytes := e.dictEntry(tid, term)
+	if df == 0 {
+		return postingCursor{}, false
+	}
+	return postingCursor{
+		eng:  e,
+		tid:  tid,
+		addr: e.postingsBase + off,
+		end:  e.postingsBase + off + uint64(nBytes),
+		df:   df,
+		idf:  e.idf(df),
+	}, true
+}
+
+// next advances to the following posting; false at end of list.
+func (c *postingCursor) next() bool {
+	if c.addr >= c.end {
+		return false
+	}
+	delta, n := c.eng.shard.ReadUvarint(c.tid, c.addr)
+	c.addr += uint64(n)
+	tf, n2 := c.eng.shard.ReadUvarint(c.tid, c.addr)
+	c.addr += uint64(n2)
+	if c.opened {
+		c.doc += uint32(delta)
+	} else {
+		c.doc = uint32(delta)
+		c.opened = true
+	}
+	c.tf = uint32(tf)
+	return true
+}
+
+// advanceTo moves forward until doc >= target; false at end of list.
+func (c *postingCursor) advanceTo(target uint32) bool {
+	for !c.opened || c.doc < target {
+		if !c.next() {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecuteConjunctive evaluates terms as an AND query: only documents
+// containing every term are scored. Results rank by summed BM25 (with the
+// static-rank factor) plus the feature boost, exactly as Execute's final
+// stage. The query cache is not consulted (conjunctive and disjunctive
+// results must not alias under the same tag).
+func (s *Session) ExecuteConjunctive(terms []uint32) Result {
+	s.Queries++
+	e := s.eng
+	s.code(-1, e.cfg.InstrsPerQuery/2)
+
+	// Open all cursors; an absent term makes the intersection empty.
+	cursors := make([]postingCursor, 0, len(terms))
+	for _, t := range terms {
+		cur, ok := e.openCursor(s.thread, t)
+		if !ok {
+			s.code(-1, e.cfg.InstrsPerQuery/2)
+			return Result{}
+		}
+		cursors = append(cursors, cur)
+	}
+	if len(cursors) == 0 {
+		s.code(-1, e.cfg.InstrsPerQuery/2)
+		return Result{}
+	}
+	// Drive with the rarest term (fewest postings).
+	lead := 0
+	for i := range cursors {
+		if cursors[i].df < cursors[lead].df {
+			lead = i
+		}
+	}
+	cursors[0], cursors[lead] = cursors[lead], cursors[0]
+
+	s.topk.Reset()
+	scanned := 0
+	exhausted := false
+	for !exhausted && scanned < e.cfg.MaxPostingsPerTerm && cursors[0].next() {
+		candidate := cursors[0].doc
+		match := true
+		for i := 1; i < len(cursors); i++ {
+			if !cursors[i].advanceTo(candidate) {
+				// A verification list ran out: no future candidate can
+				// contain its term, so the intersection is complete.
+				match = false
+				exhausted = true
+				break
+			}
+			if cursors[i].doc != candidate {
+				match = false
+				break
+			}
+		}
+		scanned++
+		if scanned&15 == 15 {
+			s.code(fnDecode, 16*e.cfg.InstrsPerPosting)
+		}
+		if !match {
+			continue
+		}
+		// Score the match: all terms contribute.
+		dl := e.docLen(s.thread, candidate)
+		boost := e.staticBoost(s.thread, candidate)
+		var score float32
+		for i := range cursors {
+			score += e.bm25(cursors[i].idf, cursors[i].tf, dl) * boost
+		}
+		s.topk.Push(candidate, score)
+		s.CandidatesScored++
+	}
+	docs, scores := s.topk.Results()
+	for i, doc := range docs {
+		scores[i] += e.featureBoost(s.thread, doc)
+		s.code(fnSelect, e.cfg.InstrsPerScore)
+	}
+	sortByScore(docs, scores)
+	for _, doc := range docs {
+		s.snippet(doc)
+	}
+	s.code(-1, e.cfg.InstrsPerQuery/2)
+	return Result{Docs: docs, Scores: scores}
+}

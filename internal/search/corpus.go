@@ -1,0 +1,141 @@
+// Package search implements the search-engine substrate: a synthetic
+// corpus, an inverted index with varint-compressed posting lists serialized
+// into an instrumented shard arena, BM25 query evaluation with heap-resident
+// scoring structures, top-k selection, snippet extraction, and a query
+// cache.
+//
+// It is the workload generator of this reproduction: executing queries
+// against the engine emits the shard/heap/stack address streams (via
+// internal/memsim) and the code/branch streams (via internal/codegen) that
+// the paper captured from production leaf servers with Pin.
+package search
+
+import (
+	"fmt"
+
+	"searchmem/internal/stats"
+)
+
+// CorpusConfig describes the synthetic document collection.
+type CorpusConfig struct {
+	// NumDocs is the number of documents in this leaf's shard.
+	NumDocs int
+	// VocabSize is the number of distinct terms.
+	VocabSize int
+	// AvgDocLen is the mean document length in terms; lengths follow a
+	// bounded Pareto around it, matching the heavy tail of real corpora.
+	AvgDocLen int
+	// TermZipfSkew sets term popularity inside documents. Real text is
+	// near 1.0 (Zipf's law).
+	TermZipfSkew float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultCorpusConfig returns a small but structurally realistic corpus
+// suitable for tests; experiments scale NumDocs and VocabSize up.
+func DefaultCorpusConfig() CorpusConfig {
+	return CorpusConfig{
+		NumDocs:      20000,
+		VocabSize:    30000,
+		AvgDocLen:    80,
+		TermZipfSkew: 1.0,
+		Seed:         0x5ea7c4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c CorpusConfig) Validate() error {
+	if c.NumDocs <= 0 || c.VocabSize <= 0 || c.AvgDocLen <= 0 {
+		return fmt.Errorf("search: corpus counts must be positive")
+	}
+	if c.NumDocs >= 1<<31 || c.VocabSize >= 1<<31 {
+		return fmt.Errorf("search: corpus too large for 32-bit ids")
+	}
+	if c.TermZipfSkew <= 0 {
+		return fmt.Errorf("search: term zipf skew must be positive")
+	}
+	return nil
+}
+
+// Corpus is a generated document collection held in ordinary Go memory;
+// it exists only during index construction (the paper's indexing system is
+// a batch pipeline distinct from the serving system under study).
+type Corpus struct {
+	cfg CorpusConfig
+	// Docs[d] is the term sequence of document d.
+	Docs [][]uint32
+	// TotalTerms is the summed document length.
+	TotalTerms int64
+}
+
+// GenerateCorpus synthesizes a corpus from cfg.
+func GenerateCorpus(cfg CorpusConfig) *Corpus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	termDist := stats.NewZipf(rng.Split(), uint64(cfg.VocabSize), cfg.TermZipfSkew)
+	c := &Corpus{cfg: cfg, Docs: make([][]uint32, cfg.NumDocs)}
+	minLen := float64(cfg.AvgDocLen) / 3
+	maxLen := float64(cfg.AvgDocLen) * 12
+	for d := range c.Docs {
+		// Bounded Pareto with alpha tuned so the mean lands near
+		// AvgDocLen for these bounds.
+		n := int(rng.Pareto(minLen, maxLen, 1.75))
+		doc := make([]uint32, n)
+		for i := range doc {
+			doc[i] = uint32(termDist.Next())
+		}
+		c.Docs[d] = doc
+		c.TotalTerms += int64(n)
+	}
+	return c
+}
+
+// Config returns the corpus configuration.
+func (c *Corpus) Config() CorpusConfig { return c.cfg }
+
+// AvgDocLen returns the realized mean document length.
+func (c *Corpus) AvgDocLen() float64 {
+	if len(c.Docs) == 0 {
+		return 0
+	}
+	return float64(c.TotalTerms) / float64(len(c.Docs))
+}
+
+// posting is one (document, term-frequency) pair during construction.
+type posting struct {
+	doc uint32
+	tf  uint32
+}
+
+// buildPostings inverts the corpus into per-term posting lists, sorted by
+// document id (documents are processed in id order, so lists sort
+// naturally).
+func buildPostings(c *Corpus) [][]posting {
+	lists := make([][]posting, c.cfg.VocabSize)
+	// Count term frequencies per document with a reusable scratch map.
+	tfs := make(map[uint32]uint32, c.cfg.AvgDocLen)
+	for d, doc := range c.Docs {
+		for k := range tfs {
+			delete(tfs, k)
+		}
+		for _, t := range doc {
+			tfs[t]++
+		}
+		for t, tf := range tfs {
+			lists[t] = append(lists[t], posting{doc: uint32(d), tf: tf})
+		}
+	}
+	// Map iteration above randomizes intra-document term order, but lists
+	// stay sorted by doc because docs are visited in order; verify cheaply.
+	for t, list := range lists {
+		for i := 1; i < len(list); i++ {
+			if list[i].doc < list[i-1].doc {
+				panic(fmt.Sprintf("search: posting list %d not sorted", t))
+			}
+		}
+	}
+	return lists
+}

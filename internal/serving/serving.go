@@ -1,0 +1,434 @@
+// Package serving implements the search serving system of the paper's
+// Figure 1: a front-end web server, cache servers, a root, intermediate
+// parents, and leaf nodes each holding an index shard. Queries fan out down
+// the tree; results propagate up with score-based merging at every level.
+//
+// Time is virtual: every component charges modeled latency to the query and
+// parallel fan-out costs the maximum over children, which keeps simulations
+// deterministic and fast while producing realistic latency distributions.
+// The cluster is safe for concurrent use so examples can drive it with real
+// goroutines.
+package serving
+
+import (
+	"fmt"
+	"sync"
+
+	"searchmem/internal/search"
+	"searchmem/internal/stats"
+)
+
+// Query is one user request.
+type Query struct {
+	// Terms are the query's term ids.
+	Terms []uint32
+}
+
+// Result is an aggregated search response.
+type Result struct {
+	// Docs and Scores are the merged top-k, best first.
+	Docs   []uint32
+	Scores []float32
+	// FromCache reports whether a cache server short-circuited the tree.
+	FromCache bool
+	// LatencyNS is the modeled end-to-end latency.
+	LatencyNS float64
+}
+
+// Executor evaluates a query against one shard and reports its modeled
+// service latency.
+type Executor interface {
+	// Search returns the shard-local top-k with scores, plus the modeled
+	// execution latency in nanoseconds.
+	Search(terms []uint32) (docs []uint32, scores []float32, latencyNS float64)
+}
+
+// SyntheticExecutor is a deterministic stand-in for a real leaf engine:
+// results derive from a hash of (term, shard), latency from a base cost
+// plus per-term cost with deterministic jitter.
+type SyntheticExecutor struct {
+	// ShardID decorrelates results between leaves.
+	ShardID uint32
+	// TopK is the number of results returned.
+	TopK int
+	// BaseLatencyNS and PerTermNS build the service-time model.
+	BaseLatencyNS, PerTermNS float64
+
+	mu  sync.Mutex
+	rng *stats.RNG
+}
+
+// NewSyntheticExecutor returns an executor for the given shard.
+func NewSyntheticExecutor(shardID uint32, topK int) *SyntheticExecutor {
+	return &SyntheticExecutor{
+		ShardID:       shardID,
+		TopK:          topK,
+		BaseLatencyNS: 2e6, // 2 ms base service time
+		PerTermNS:     8e5,
+		rng:           stats.NewRNG(uint64(shardID)*0x9e37 + 5),
+	}
+}
+
+// Search implements Executor.
+func (e *SyntheticExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
+	tk := search.NewTopK(e.TopK)
+	h := uint64(e.ShardID)*2654435761 + 1
+	for _, t := range terms {
+		h = h*6364136223846793005 + uint64(t)
+	}
+	// Deterministic pseudo-results: k docs scored by a hash chain.
+	x := h
+	for i := 0; i < e.TopK*4; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		doc := uint32(x) % 1_000_000
+		score := float32(x%10_000) / 100
+		tk.Push(doc, score)
+	}
+	docs, scores := tk.Results()
+
+	e.mu.Lock()
+	jitter := e.rng.Exponential(0.15 * e.BaseLatencyNS)
+	e.mu.Unlock()
+	lat := e.BaseLatencyNS + float64(len(terms))*e.PerTermNS + jitter
+	return docs, scores, lat
+}
+
+// EngineExecutor adapts a real search.Session to the Executor interface.
+// The session is guarded by a mutex (sessions are single-threaded).
+type EngineExecutor struct {
+	mu sync.Mutex
+	// Session is the engine session evaluating queries.
+	Session *search.Session
+	// NSPerInstr converts the session's instruction cost to latency
+	// (1/(IPC*freqGHz)).
+	NSPerInstr float64
+}
+
+// Search implements Executor.
+func (e *EngineExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	before := e.Session.Instructions()
+	r := e.Session.Execute(terms)
+	lat := float64(e.Session.Instructions()-before) * e.NSPerInstr
+	scores := r.Scores
+	if scores == nil {
+		// Query-cache hits store ids only; synthesize rank-order scores
+		// so upstream merging stays well-defined.
+		scores = make([]float32, len(r.Docs))
+		for i := range scores {
+			scores[i] = float32(len(r.Docs) - i)
+		}
+	}
+	return r.Docs, scores, lat
+}
+
+// Config shapes the serving tree.
+type Config struct {
+	// Leaves is the number of leaf nodes (index shards).
+	Leaves int
+	// Fanout is the number of leaves per intermediate parent.
+	Fanout int
+	// TopK is the merged result size at every level.
+	TopK int
+	// CacheSlots sizes the cache-server tier (0 disables it).
+	CacheSlots int
+	// NetworkHopNS is the one-way cost of each tree hop.
+	NetworkHopNS float64
+	// RootOverheadNS is the root's preprocessing cost (spell check etc.).
+	RootOverheadNS float64
+	// FrontendOverheadNS is the web server's cost.
+	FrontendOverheadNS float64
+	// LeafCapacity is how many concurrent queries the leaf tier absorbs
+	// before queueing inflates service times (0 disables the queueing
+	// model). Latency is scaled by 1/(1-rho) with rho the instantaneous
+	// utilization, the standard M/M/1-style congestion signal.
+	LeafCapacity int
+}
+
+// DefaultConfig returns a small but fully structured tree.
+func DefaultConfig() Config {
+	return Config{
+		Leaves:             12,
+		Fanout:             4,
+		TopK:               10,
+		CacheSlots:         4096,
+		NetworkHopNS:       2e5,
+		RootOverheadNS:     3e5,
+		FrontendOverheadNS: 1e5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Leaves <= 0 || c.Fanout <= 0 || c.TopK <= 0 {
+		return fmt.Errorf("serving: counts must be positive")
+	}
+	if c.CacheSlots < 0 {
+		return fmt.Errorf("serving: negative cache slots")
+	}
+	if c.NetworkHopNS < 0 || c.RootOverheadNS < 0 || c.FrontendOverheadNS < 0 {
+		return fmt.Errorf("serving: negative latencies")
+	}
+	return nil
+}
+
+// leaf is one leaf node.
+type leaf struct {
+	id   int
+	exec Executor
+}
+
+// parent aggregates a group of leaves.
+type parent struct {
+	leaves []*leaf
+}
+
+// Cluster is the wired serving tree.
+type Cluster struct {
+	cfg     Config
+	parents []*parent
+	cache   *cacheServer
+
+	mu sync.Mutex
+	// Queries and CacheHits count served requests.
+	Queries, CacheHits int64
+	inflight           int64
+}
+
+// NewCluster wires a tree with the given executors (one per leaf; missing
+// entries get synthetic executors).
+func NewCluster(cfg Config, executors []Executor) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{cfg: cfg}
+	if cfg.CacheSlots > 0 {
+		c.cache = newCacheServer(cfg.CacheSlots)
+	}
+	var cur *parent
+	for i := 0; i < cfg.Leaves; i++ {
+		if cur == nil || len(cur.leaves) == cfg.Fanout {
+			cur = &parent{}
+			c.parents = append(c.parents, cur)
+		}
+		var exec Executor
+		if i < len(executors) && executors[i] != nil {
+			exec = executors[i]
+		} else {
+			exec = NewSyntheticExecutor(uint32(i), cfg.TopK)
+		}
+		cur.leaves = append(cur.leaves, &leaf{id: i, exec: exec})
+	}
+	return c
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Serve runs one query through the full tree and returns the merged result
+// with its modeled latency.
+func (c *Cluster) Serve(q Query) Result {
+	c.mu.Lock()
+	c.Queries++
+	c.inflight++
+	congestion := 1.0
+	if c.cfg.LeafCapacity > 0 {
+		rho := float64(c.inflight) / float64(c.cfg.LeafCapacity)
+		if rho > 0.95 {
+			rho = 0.95
+		}
+		congestion = 1 / (1 - rho)
+	}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+	}()
+
+	lat := c.cfg.FrontendOverheadNS
+	tag := cacheTag(q.Terms)
+	if c.cache != nil {
+		if docs, scores, ok := c.cache.get(tag); ok {
+			c.mu.Lock()
+			c.CacheHits++
+			c.mu.Unlock()
+			return Result{Docs: docs, Scores: scores, FromCache: true, LatencyNS: lat + c.cfg.NetworkHopNS}
+		}
+		lat += c.cfg.NetworkHopNS // cache miss probe
+	}
+	lat += c.cfg.RootOverheadNS
+
+	// Root fans out to parents, parents to leaves; parallel hops cost the
+	// slowest child. Real goroutines make the cluster exercisable under
+	// concurrent load in examples.
+	type branch struct {
+		docs   []uint32
+		scores []float32
+		lat    float64
+	}
+	results := make([]branch, len(c.parents))
+	var wg sync.WaitGroup
+	for pi, p := range c.parents {
+		wg.Add(1)
+		go func(pi int, p *parent) {
+			defer wg.Done()
+			tk := search.NewTopK(c.cfg.TopK)
+			var worst float64
+			for _, lf := range p.leaves {
+				docs, scores, leafLat := lf.exec.Search(q.Terms)
+				if leafLat > worst {
+					worst = leafLat
+				}
+				for i := range docs {
+					// Disambiguate doc ids across shards.
+					tk.Push(docs[i]*uint32(c.cfg.Leaves)+uint32(lf.id), scores[i])
+				}
+			}
+			docs, scores := tk.Results()
+			results[pi] = branch{docs: docs, scores: scores, lat: worst*congestion + 2*c.cfg.NetworkHopNS}
+		}(pi, p)
+	}
+	wg.Wait()
+
+	tk := search.NewTopK(c.cfg.TopK)
+	var worst float64
+	for _, b := range results {
+		if b.lat > worst {
+			worst = b.lat
+		}
+		for i := range b.docs {
+			tk.Push(b.docs[i], b.scores[i])
+		}
+	}
+	docs, scores := tk.Results()
+	lat += worst + 2*c.cfg.NetworkHopNS
+
+	if c.cache != nil {
+		c.cache.put(tag, docs, scores)
+	}
+	return Result{Docs: docs, Scores: scores, LatencyNS: lat}
+}
+
+// CacheHitRate returns the fraction of queries served by the cache tier.
+func (c *Cluster) CacheHitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Queries == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(c.Queries)
+}
+
+// cacheTag hashes query terms (FNV-1a).
+func cacheTag(terms []uint32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, t := range terms {
+		h ^= uint64(t)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// cacheServer is the cache tier: a sharded LRU map keyed by query tag.
+type cacheServer struct {
+	mu    sync.Mutex
+	slots int
+	data  map[uint64]*cacheEntry
+	order []uint64 // FIFO eviction order (clock-less approximation of LRU)
+}
+
+type cacheEntry struct {
+	docs   []uint32
+	scores []float32
+}
+
+func newCacheServer(slots int) *cacheServer {
+	return &cacheServer{slots: slots, data: make(map[uint64]*cacheEntry, slots)}
+}
+
+func (s *cacheServer) get(tag uint64) ([]uint32, []float32, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[tag]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.docs, e.scores, true
+}
+
+func (s *cacheServer) put(tag uint64, docs []uint32, scores []float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.data[tag]; exists {
+		s.data[tag] = &cacheEntry{docs: docs, scores: scores}
+		return
+	}
+	for len(s.data) >= s.slots && len(s.order) > 0 {
+		victim := s.order[0]
+		s.order = s.order[1:]
+		delete(s.data, victim)
+	}
+	s.data[tag] = &cacheEntry{docs: docs, scores: scores}
+	s.order = append(s.order, tag)
+}
+
+// LoadStats summarizes a load-generation run.
+type LoadStats struct {
+	// Queries served and the cache-hit share.
+	Queries   int64
+	CacheHits int64
+	// MeanLatencyNS, P50, P95 and P99 describe the virtual latency
+	// distribution.
+	MeanLatencyNS, P50NS, P95NS, P99NS float64
+	// QPS is modeled closed-loop throughput: clients / mean latency.
+	QPS float64
+}
+
+// RunLoad drives the cluster with a closed-loop load of clients issuing
+// queries drawn Zipf-popular from vocabSize (popular queries repeat, which
+// is what makes the cache tier effective). It is deterministic given seed.
+func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64, seed uint64) LoadStats {
+	if clients <= 0 || queriesPerClient <= 0 || vocabSize <= 0 {
+		panic("serving: load parameters must be positive")
+	}
+	hist := stats.NewHistogram(8)
+	var histMu sync.Mutex
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := stats.NewRNG(seed + uint64(cl)*977)
+			// Query popularity: a Zipf over "canned" query ids expanded
+			// into term tuples, modeling repeated popular queries.
+			qsel := stats.NewZipf(rng.Split(), uint64(vocabSize), skew)
+			for i := 0; i < queriesPerClient; i++ {
+				qid := qsel.Next()
+				terms := []uint32{uint32(qid), uint32(qid>>3) % uint32(vocabSize)}
+				r := c.Serve(Query{Terms: terms})
+				histMu.Lock()
+				hist.Add(r.LatencyNS)
+				histMu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	mean := hist.Mean()
+	st := LoadStats{
+		Queries:       c.Queries,
+		CacheHits:     c.CacheHits,
+		MeanLatencyNS: mean,
+		P50NS:         hist.Quantile(0.50),
+		P95NS:         hist.Quantile(0.95),
+		P99NS:         hist.Quantile(0.99),
+	}
+	if mean > 0 {
+		st.QPS = float64(clients) / (mean * 1e-9)
+	}
+	return st
+}

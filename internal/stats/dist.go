@@ -1,0 +1,154 @@
+package stats
+
+import "math"
+
+// Zipf samples ranks in [0, N) with P(k) proportional to 1/(k+1)^S.
+//
+// Unlike math/rand's Zipf, this implementation supports any positive skew S,
+// including S <= 1, which is the regime reported for cache and web-access
+// popularity distributions. Sampling uses Hörmann's rejection-inversion for
+// the general case, with exact inversion fallbacks for tiny N.
+type Zipf struct {
+	rng *RNG
+	n   uint64
+	s   float64
+
+	// rejection-inversion precomputed constants
+	oneMinusS    float64
+	oneOverOneMS float64
+	hx0          float64
+	hImaxPlus1   float64
+	sDiv         float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+// It panics if n == 0 or s <= 0.
+func NewZipf(rng *RNG, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("stats: NewZipf with n == 0")
+	}
+	if s <= 0 {
+		panic("stats: NewZipf with s <= 0")
+	}
+	z := &Zipf{rng: rng, n: n, s: s}
+	z.oneMinusS = 1 - s
+	z.oneOverOneMS = 1 / z.oneMinusS
+	z.hx0 = z.h(0.5) - math.Exp(-s*math.Log(1))
+	z.hImaxPlus1 = z.h(float64(n) + 0.5)
+	z.sDiv = 2 - z.hInv(z.h(1.5)-math.Exp(-s*math.Log(2)))
+	return z
+}
+
+// h is the integral of the density 1/x^s; hInv its inverse. The s == 1 case
+// degenerates to log, handled by a small epsilon shift for numerical safety.
+func (z *Zipf) h(x float64) float64 {
+	if math.Abs(z.oneMinusS) < 1e-9 {
+		return math.Log(x)
+	}
+	return math.Exp(z.oneMinusS*math.Log(x)) * z.oneOverOneMS
+}
+
+func (z *Zipf) hInv(x float64) float64 {
+	if math.Abs(z.oneMinusS) < 1e-9 {
+		return math.Exp(x)
+	}
+	return math.Exp(z.oneOverOneMS * math.Log(z.oneMinusS*x))
+}
+
+// Next returns the next sample in [0, n). Rank 0 is the most popular.
+func (z *Zipf) Next() uint64 {
+	// Hörmann & Derflinger rejection-inversion, adapted to 0-based ranks.
+	for {
+		u := z.hImaxPlus1 + z.rng.Float64()*(z.hx0-z.hImaxPlus1)
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.h(k+0.5)-math.Exp(-z.s*math.Log(k)) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// ZipfCDF is an exact, CDF-inversion Zipf sampler. It precomputes the full
+// cumulative distribution, which makes it suitable for small N (vocabulary
+// popularity, query popularity) where exactness matters more than memory.
+type ZipfCDF struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipfCDF returns an exact sampler over [0, n) with exponent s > 0.
+func NewZipfCDF(rng *RNG, n int, s float64) *ZipfCDF {
+	if n <= 0 {
+		panic("stats: NewZipfCDF with n <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Exp(-s * math.Log(float64(i+1)))
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfCDF{rng: rng, cdf: cdf}
+}
+
+// Next returns the next sample in [0, n). Rank 0 is the most popular.
+func (z *ZipfCDF) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Exponential returns a draw from an exponential distribution with the given
+// mean. Used for inter-arrival times in the serving-tree simulator.
+func (r *RNG) Exponential(mean float64) float64 {
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials. Used for run lengths (e.g. posting-list scan lengths).
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("stats: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Log(1-r.Float64()) / math.Log(1-p))
+}
+
+// Pareto returns a draw from a bounded Pareto distribution on [min, max]
+// with shape alpha. Used for document-length and posting-list-length models,
+// which are heavy-tailed in real corpora.
+func (r *RNG) Pareto(min, max, alpha float64) float64 {
+	if min <= 0 || max <= min || alpha <= 0 {
+		panic("stats: Pareto requires 0 < min < max and alpha > 0")
+	}
+	u := r.Float64()
+	la, ha := math.Pow(min, alpha), math.Pow(max, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Normal returns a draw from a normal distribution with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := 1 - r.Float64() // avoid log(0)
+	u2 := r.Float64()
+	return mean + stddev*math.Sqrt(-2*math.Log(u1))*math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfRange(t *testing.T) {
+	for _, s := range []float64{0.5, 0.8, 0.99, 1.0, 1.2, 2.0} {
+		z := NewZipf(NewRNG(1), 1000, s)
+		for i := 0; i < 10000; i++ {
+			v := z.Next()
+			if v >= 1000 {
+				t.Fatalf("s=%v: sample %d out of range", s, v)
+			}
+		}
+	}
+}
+
+func TestZipfMonotoneFrequencies(t *testing.T) {
+	// Rank 0 must be the most popular, with frequency decreasing in rank
+	// (checked on coarse rank groups to avoid sampling noise).
+	z := NewZipf(NewRNG(2), 1024, 0.9)
+	counts := make([]int, 1024)
+	for i := 0; i < 300000; i++ {
+		counts[z.Next()]++
+	}
+	group := func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		return s
+	}
+	g0 := group(0, 8)
+	g1 := group(8, 64)
+	g2 := group(64, 512)
+	if !(g0 > 0 && g1 > 0 && g2 > 0) {
+		t.Fatal("some rank groups never sampled")
+	}
+	// Per-item frequency must decrease across groups.
+	f0 := float64(g0) / 8
+	f1 := float64(g1) / 56
+	f2 := float64(g2) / 448
+	if !(f0 > f1 && f1 > f2) {
+		t.Fatalf("per-rank frequency not decreasing: %v %v %v", f0, f1, f2)
+	}
+}
+
+func TestZipfSkewConcentration(t *testing.T) {
+	// Higher skew concentrates more mass on low ranks.
+	top100 := func(s float64) float64 {
+		z := NewZipf(NewRNG(3), 100000, s)
+		hits := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if z.Next() < 100 {
+				hits++
+			}
+		}
+		return float64(hits) / n
+	}
+	lo, hi := top100(0.6), top100(1.2)
+	if hi <= lo {
+		t.Fatalf("skew 1.2 top-100 mass %v <= skew 0.6 mass %v", hi, lo)
+	}
+}
+
+func TestZipfCDFAgainstExpected(t *testing.T) {
+	// For small N the empirical distribution must match the analytic pmf.
+	const n, s = 16, 1.0
+	z := NewZipfCDF(NewRNG(4), n, s)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	var norm float64
+	for i := 1; i <= n; i++ {
+		norm += 1 / float64(i)
+	}
+	for i := 0; i < n; i++ {
+		want := 1 / (float64(i+1) * norm)
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d: empirical %v vs analytic %v", i, got, want)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(5)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exponential(4.0)
+		if v < 0 {
+			t.Fatalf("negative exponential draw %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-4.0) > 0.1 {
+		t.Fatalf("exponential mean %v, want ~4", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(6)
+	const p = 0.25
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	mean := sum / n
+	want := (1 - p) / p // mean of failures-before-success geometric
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("geometric mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := NewRNG(61)
+	for i := 0; i < 100; i++ {
+		if r.Geometric(1) != 0 {
+			t.Fatal("Geometric(1) must be 0")
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2, 1000, 1.1)
+		if v < 2 || v > 1000 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// A smaller alpha must give a heavier tail (higher p99).
+	p99 := func(alpha float64) float64 {
+		r := NewRNG(8)
+		sample := make([]float64, 20000)
+		for i := range sample {
+			sample[i] = r.Pareto(1, 1e6, alpha)
+		}
+		return ExactQuantile(sample, 0.99)
+	}
+	if p99(0.8) <= p99(2.0) {
+		t.Fatal("lower alpha did not produce heavier tail")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Normal(10, 3))
+	}
+	if math.Abs(s.Mean()-10) > 0.05 {
+		t.Fatalf("normal mean %v", s.Mean())
+	}
+	if math.Abs(s.StdDev()-3) > 0.05 {
+		t.Fatalf("normal stddev %v", s.StdDev())
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(NewRNG(1), 0, 1) },
+		func() { NewZipf(NewRNG(1), 10, 0) },
+		func() { NewZipfCDF(NewRNG(1), 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

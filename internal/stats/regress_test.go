@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitLineExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	l, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Fatalf("got y = %v + %v x", l.Intercept, l.Slope)
+	}
+	if math.Abs(l.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", l.R2)
+	}
+}
+
+func TestFitLineRecoversPlantedLine(t *testing.T) {
+	// Property: OLS recovers a planted line from noisy samples.
+	prop := func(seed uint64) bool {
+		r := NewRNG(seed)
+		slope := r.Normal(0, 5)
+		intercept := r.Normal(0, 10)
+		xs := make([]float64, 500)
+		ys := make([]float64, 500)
+		for i := range xs {
+			xs[i] = r.Float64() * 100
+			ys[i] = intercept + slope*xs[i] + r.Normal(0, 0.5)
+		}
+		l, err := FitLine(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(l.Slope-slope) < 0.05 && math.Abs(l.Intercept-intercept) < 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLineDegenerate(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point must be degenerate")
+	}
+	if _, err := FitLine([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x must be degenerate")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestFitLineFlat(t *testing.T) {
+	l, err := FitLine([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slope != 0 || l.Intercept != 5 || l.R2 != 1 {
+		t.Fatalf("flat fit: %+v", l)
+	}
+}
+
+func TestPearsonR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	if r := PearsonR(xs, up); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive r = %v", r)
+	}
+	if r := PearsonR(xs, down); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative r = %v", r)
+	}
+	if r := PearsonR(xs, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Fatalf("no-variance r = %v", r)
+	}
+	if r := PearsonR(nil, nil); r != 0 {
+		t.Fatalf("empty r = %v", r)
+	}
+}
+
+func TestEvalRoundTrip(t *testing.T) {
+	l := Line{Slope: -8.62e-3, Intercept: 1.78}
+	// The paper's Equation 1 at AMAT = 50 ns.
+	got := l.Eval(50)
+	want := 1.78 - 8.62e-3*50
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+}

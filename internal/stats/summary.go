@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with O(1) memory using
+// Welford's online algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the sample variance, or 0 with fewer than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g stddev=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a log-scaled latency/size histogram covering [1, maxValue]
+// with a configurable number of buckets per power of two. It supports
+// approximate quantiles with bounded relative error.
+type Histogram struct {
+	subBuckets int // buckets per power of two
+	counts     []int64
+	total      int64
+	sum        float64
+}
+
+// NewHistogram returns a histogram with sub sub-buckets per octave covering
+// 64 octaves (the full uint64 range).
+func NewHistogram(sub int) *Histogram {
+	if sub <= 0 {
+		sub = 4
+	}
+	return &Histogram{subBuckets: sub, counts: make([]int64, 64*sub)}
+}
+
+// bucket maps a value to its bucket index.
+func (h *Histogram) bucket(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	exp := math.Floor(math.Log2(v))
+	frac := v/math.Exp2(exp) - 1 // in [0, 1)
+	idx := int(exp)*h.subBuckets + int(frac*float64(h.subBuckets))
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// bucketLow returns the lower bound of bucket i.
+func (h *Histogram) bucketLow(i int) float64 {
+	exp := i / h.subBuckets
+	frac := float64(i%h.subBuckets) / float64(h.subBuckets)
+	return math.Exp2(float64(exp)) * (1 + frac)
+}
+
+// Add records one observation (values < 1 land in the first bucket).
+func (h *Histogram) Add(v float64) {
+	h.counts[h.bucket(v)]++
+	h.total++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) with
+// relative error bounded by the sub-bucket width.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.total))
+	if target >= h.total {
+		target = h.total - 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			return h.bucketLow(i)
+		}
+	}
+	return h.bucketLow(len(h.counts) - 1)
+}
+
+// Percentiles is a convenience helper returning the given percentiles
+// (each in [0,100]) in order.
+func (h *Histogram) Percentiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Quantile(p / 100)
+	}
+	return out
+}
+
+// ExactQuantile returns the exact q-quantile of a sample slice (the slice is
+// not modified). Intended for tests and small samples.
+func ExactQuantile(sample []float64, q float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"fmt"
+
+	"searchmem/internal/cache"
+	"searchmem/internal/cpu"
+	"searchmem/internal/model"
+	"searchmem/internal/platform"
+	"searchmem/internal/trace"
+)
+
+// MeasureConfig describes one measurement run: a workload on a platform
+// hierarchy with the paper's instrumentation attached (functional cache
+// simulation + branch predictors + the calibrated core model).
+type MeasureConfig struct {
+	// Platform supplies cache shapes, latencies, and the core model.
+	Platform platform.Platform
+	// Cores and SMTWays shape the simulated hierarchy; Threads is the
+	// number of workload threads run on it.
+	Cores, SMTWays, Threads int
+	// L3Ways, when non-zero, partitions the L3 CAT-style.
+	L3Ways int
+	// SplitL2 splits each core's unified L2 into I and D halves (§V).
+	SplitL2 bool
+	// L3Size, when non-zero, overrides the L3 capacity.
+	L3Size int64
+	// L4, when non-nil, adds a memory-side victim L4 of this capacity
+	// (direct-mapped unless L4Assoc overrides).
+	L4Size int64
+	// L4Assoc is the L4 associativity (0 with L4Size set = direct-mapped
+	// per the paper's design; use -1 for fully associative).
+	L4Assoc int
+	// L4HitNS and L4MissPenaltyNS are the L4 timing parameters (default
+	// 40 ns / 0 ns baseline when L4Size is set).
+	L4HitNS, L4MissPenaltyNS float64
+	// Budget is the measured instruction budget; a quarter as much again
+	// is run first as unrecorded warmup.
+	Budget int64
+	// Seed varies the input stream.
+	Seed uint64
+	// PredictorBits sizes the per-core gshare predictor (default 14).
+	PredictorBits uint
+	// Prefetchers, when non-nil, is invoked per core to attach hardware
+	// prefetchers.
+	Prefetchers func() []cpu.Prefetcher
+	// WarmupFraction scales the warmup budget (default 0.25).
+	WarmupFraction float64
+}
+
+// Metrics is the measured outcome, aligned with Table I's rows and the
+// inputs of §III-D's models.
+type Metrics struct {
+	// IPC is the modeled per-core, per-thread IPC.
+	IPC float64
+	// Breakdown is the Top-Down slot accounting (Figure 3).
+	Breakdown cpu.Breakdown
+	// BranchMPKI is mispredicted branches per kilo-instruction.
+	BranchMPKI float64
+	// L2InstrMPKI and L3LoadMPKI are the headline Table I metrics.
+	L2InstrMPKI, L3LoadMPKI float64
+	// Remaining per-level rates.
+	L1IMPKI, L1DMPKI, L2DataMPKI, L3InstrMPKI float64
+	// L3HitRate and L4HitRate are demand hit rates.
+	L3HitRate, L4HitRate float64
+	// AMATNS is the modeled post-L2 average access time.
+	AMATNS float64
+	// DRAMPerKI is main-memory transactions per kilo-instruction.
+	DRAMPerKI float64
+	// Level stats for per-segment analysis (Figure 6a).
+	L1, L2, L3, L4 cache.AccessStats
+	// MemReads and MemWrites are raw DRAM transaction counts.
+	MemReads, MemWrites int64
+	// Instructions measured; Run carries the workload-level counters.
+	Instructions int64
+	Run          Stats
+}
+
+// Measure runs the workload against the configured hierarchy and reduces
+// the result through the calibrated core model.
+func Measure(r Runner, mc MeasureConfig) Metrics {
+	if mc.Threads <= 0 || mc.Cores <= 0 || mc.SMTWays <= 0 {
+		panic("workload: Measure needs positive cores/threads/SMT")
+	}
+	if mc.PredictorBits == 0 {
+		mc.PredictorBits = 14
+	}
+	if mc.WarmupFraction == 0 {
+		mc.WarmupFraction = 0.25
+	}
+
+	var hcfg cache.HierarchyConfig
+	if mc.L3Size > 0 {
+		hcfg = mc.Platform.HierarchyWithL3Size(mc.Cores, mc.SMTWays, mc.L3Size)
+	} else {
+		hcfg = mc.Platform.Hierarchy(mc.Cores, mc.SMTWays, mc.L3Ways)
+	}
+	hcfg.SplitL2 = mc.SplitL2
+	l4Hit, l4Pen := mc.L4HitNS, mc.L4MissPenaltyNS
+	if mc.L4Size > 0 {
+		assoc := mc.L4Assoc
+		if assoc == 0 {
+			assoc = 1 // the paper's direct-mapped design
+		}
+		if assoc < 0 {
+			assoc = 0 // fully associative sensitivity configuration
+		}
+		hcfg.L4 = &cache.Config{
+			Name:      "L4",
+			Size:      mc.L4Size,
+			BlockSize: hcfg.L3.BlockSize,
+			Assoc:     assoc,
+		}
+		if l4Hit == 0 {
+			l4Hit = 40
+		}
+	}
+	h := cache.NewHierarchy(hcfg)
+
+	var engine *cpu.Engine
+	if mc.Prefetchers != nil {
+		engine = cpu.NewEngine(h, mc.Cores, mc.Prefetchers)
+	}
+
+	// Per-core branch predictors (SMT threads share their core's tables).
+	preds := make([]*cpu.PredictorStats, mc.Cores)
+	for i := range preds {
+		preds[i] = &cpu.PredictorStats{P: cpu.NewGshare(mc.PredictorBits)}
+	}
+	coreFor := func(t uint8) int { return int(t) / mc.SMTWays % mc.Cores }
+	sinks := Sinks{
+		Access: func(a trace.Access) {
+			if engine != nil {
+				engine.Access(a)
+				return
+			}
+			h.Access(a)
+		},
+		Branch: func(t uint8, pc uint64, taken bool) {
+			preds[coreFor(t)].Observe(cpu.Branch{PC: pc, Taken: taken})
+		},
+	}
+
+	// Warmup, then reset statistics and measure.
+	warm := int64(float64(mc.Budget) * mc.WarmupFraction)
+	if warm > 0 {
+		r.Run(mc.Threads, warm, mc.Seed^0xbeef, sinks)
+		h.ResetStats()
+		for i := range preds {
+			preds[i].Predictions, preds[i].Mispredicts = 0, 0
+		}
+	}
+	run := r.Run(mc.Threads, mc.Budget, mc.Seed, sinks)
+
+	return reduce(r, mc, h, preds, run, l4Hit, l4Pen)
+}
+
+// reduce turns raw simulation counters into Metrics via the core model.
+func reduce(r Runner, mc MeasureConfig, h *cache.Hierarchy, preds []*cpu.PredictorStats, run Stats, l4Hit, l4Pen float64) Metrics {
+	m := Metrics{
+		Instructions: run.Instructions,
+		Run:          run,
+		L1:           h.L1Stats(),
+		L2:           h.L2Stats(),
+		L3:           h.L3Stats(),
+		L4:           h.L4Stats(),
+		MemReads:     h.MemReads,
+		MemWrites:    h.MemWrites,
+	}
+	instr := run.Instructions
+	if instr == 0 {
+		panic(fmt.Sprintf("workload %s: measured zero instructions", r.Name()))
+	}
+	ki := float64(instr) / 1000
+
+	var mispred int64
+	for _, p := range preds {
+		mispred += p.Mispredicts
+	}
+	m.BranchMPKI = float64(mispred) / ki
+
+	l1i, l1d := h.L1IStats(), h.L1DStats()
+	m.L1IMPKI = float64(l1i.TotalMisses()) / ki
+	m.L1DMPKI = float64(l1d.TotalMisses()) / ki
+	m.L2InstrMPKI = float64(m.L2.KindMisses(trace.Fetch)) / ki
+	m.L2DataMPKI = float64(m.L2.KindMisses(trace.Read)+m.L2.KindMisses(trace.Write)) / ki
+	m.L3LoadMPKI = float64(m.L3.KindMisses(trace.Read)+m.L3.KindMisses(trace.Write)) / ki
+	m.L3InstrMPKI = float64(m.L3.KindMisses(trace.Fetch)) / ki
+	m.L3HitRate = m.L3.HitRate()
+	if h.HasL4() {
+		m.L4HitRate = m.L4.HitRate()
+	}
+	m.DRAMPerKI = float64(h.DRAMAccesses()) / ki
+
+	plat := mc.Platform
+	m.AMATNS = model.AMATWithL4(m.L3HitRate, m.L4HitRate, plat.L3LatencyNS, l4Hit, plat.MemLatencyNS, l4Pen)
+	if !h.HasL4() {
+		m.AMATNS = model.AMATL3(m.L3HitRate, plat.L3LatencyNS, plat.MemLatencyNS)
+	}
+
+	core := plat.Core
+	if ov := r.MemOverlap(); ov > 0 {
+		core.MemOverlap = ov
+	}
+	rates := cpu.EventRates{
+		BranchMispredicts: float64(mispred) / float64(instr),
+		L1IMisses:         float64(l1i.TotalMisses()) / float64(instr),
+		L2IMisses:         float64(m.L2.KindMisses(trace.Fetch)) / float64(instr),
+		L1DMisses:         float64(l1d.TotalMisses()) / float64(instr),
+		L2DMisses:         float64(m.L2.KindMisses(trace.Read)+m.L2.KindMisses(trace.Write)) / float64(instr),
+		L3IMisses:         float64(m.L3.KindMisses(trace.Fetch)) / float64(instr),
+		L3AMATNS:          m.AMATNS,
+	}
+	m.Breakdown, m.IPC = core.Evaluate(rates)
+	return m
+}

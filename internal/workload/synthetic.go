@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+
+	"searchmem/internal/codegen"
+	"searchmem/internal/memsim"
+	"searchmem/internal/stats"
+	"searchmem/internal/trace"
+)
+
+// SyntheticWorkload models the comparison benchmarks of Table I: SPEC
+// CPU2006 applications and the CloudSuite Web Search. Each is characterized
+// by its code size and branch behaviour (via codegen.Config), its data
+// footprint and reuse skew, and its access mix — the axes along which the
+// paper contrasts them with production search.
+type SyntheticWorkload struct {
+	// WLName identifies the profile ("429.mcf", ...).
+	WLName string
+	// Code configures the (usually small) text segment.
+	Code codegen.Config
+	// HeapBytes is the randomly-reused data footprint; HeapSkew its Zipf
+	// popularity skew (higher = tighter hot set).
+	HeapBytes int64
+	HeapSkew  float64
+	// ScanBytes, when non-zero, adds a sequentially-streamed region;
+	// StreamFrac is the fraction of loads that walk it.
+	ScanBytes  int64
+	StreamFrac float64
+	// LoadsPerKI and StoresPerKI set the data-access mix.
+	LoadsPerKI, StoresPerKI int
+	// AccessBytes is the width of each data reference.
+	AccessBytes int
+	// MemOverlapFactor is the workload's MLP blocking factor for the core
+	// model (pointer chasers like mcf serialize misses: high value).
+	MemOverlapFactor float64
+	// StackBytes sizes each thread's stack.
+	StackBytes int
+	// Seed drives generation.
+	Seed uint64
+}
+
+// Validate reports whether the profile is runnable.
+func (w SyntheticWorkload) Validate() error {
+	if err := w.Code.Validate(); err != nil {
+		return err
+	}
+	if w.HeapBytes <= 0 || w.HeapSkew <= 0 {
+		return fmt.Errorf("workload %s: heap parameters must be positive", w.WLName)
+	}
+	if w.ScanBytes < 0 || w.StreamFrac < 0 || w.StreamFrac > 1 {
+		return fmt.Errorf("workload %s: scan parameters out of range", w.WLName)
+	}
+	if w.ScanBytes == 0 && w.StreamFrac > 0 {
+		return fmt.Errorf("workload %s: StreamFrac without ScanBytes", w.WLName)
+	}
+	if w.LoadsPerKI < 0 || w.StoresPerKI < 0 || w.LoadsPerKI+w.StoresPerKI == 0 {
+		return fmt.Errorf("workload %s: need a positive access mix", w.WLName)
+	}
+	if w.AccessBytes <= 0 || w.StackBytes <= 0 {
+		return fmt.Errorf("workload %s: sizes must be positive", w.WLName)
+	}
+	if w.MemOverlapFactor < 0 || w.MemOverlapFactor > 1 {
+		return fmt.Errorf("workload %s: overlap factor out of range", w.WLName)
+	}
+	return nil
+}
+
+// SyntheticRunner is a built synthetic workload.
+type SyntheticRunner struct {
+	wl    SyntheticWorkload
+	space *memsim.Space
+	prog  *codegen.Program
+	heap  *memsim.Arena
+	scan  *memsim.Arena
+
+	walkers  []*codegen.Walker
+	scanPos  []uint64
+	capture  []trace.Access
+	branches *Sinks
+	curTid   uint8
+}
+
+// Build constructs the runner (cheap for synthetic profiles: arenas are
+// phantom, nothing is indexed).
+func (w SyntheticWorkload) Build() *SyntheticRunner {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	r := &SyntheticRunner{wl: w}
+	r.space = memsim.NewSpace(nil)
+	code := r.space.NewArena("code", trace.Code, w.Code.CodeBytes())
+	r.prog = codegen.New(w.Code, code)
+	r.heap = r.space.NewPhantomArena("data", trace.Heap, w.HeapBytes)
+	if w.ScanBytes > 0 {
+		r.scan = r.space.NewPhantomArena("scan", trace.Heap, w.ScanBytes)
+	}
+	return r
+}
+
+// Name implements Runner.
+func (r *SyntheticRunner) Name() string { return r.wl.WLName }
+
+// MemOverlap implements Runner.
+func (r *SyntheticRunner) MemOverlap() float64 { return r.wl.MemOverlapFactor }
+
+func (r *SyntheticRunner) walker(t int) *codegen.Walker {
+	for len(r.walkers) <= t {
+		idx := len(r.walkers)
+		stack := r.space.ThreadStackArena(uint8(idx), r.wl.StackBytes)
+		w := r.prog.NewWalker(uint8(idx&0x0f), r.wl.Seed+uint64(idx)*131, stack,
+			func(pc uint64, taken bool) {
+				if r.branches != nil && r.branches.Branch != nil {
+					r.branches.Branch(r.curTid, pc, taken)
+				}
+			})
+		r.walkers = append(r.walkers, w)
+		r.scanPos = append(r.scanPos, uint64(idx)*4096)
+	}
+	return r.walkers[t]
+}
+
+// chunkInstrs is the granularity at which code execution and data accesses
+// interleave within one thread.
+const chunkInstrs = 400
+
+// Run implements Runner.
+func (r *SyntheticRunner) Run(threads int, instrBudget int64, seed uint64, s Sinks) Stats {
+	if threads <= 0 {
+		panic("workload: threads must be positive")
+	}
+	var st Stats
+	perThread := instrBudget / int64(threads)
+	rngs := make([]*stats.RNG, threads)
+	zipfs := make([]*stats.Zipf, threads)
+	startInstr := make([]int64, threads)
+	startBr := make([]int64, threads)
+	heapBlocks := uint64(r.wl.HeapBytes) / 64
+	if heapBlocks == 0 {
+		heapBlocks = 1
+	}
+	for t := 0; t < threads; t++ {
+		w := r.walker(t)
+		rngs[t] = stats.NewRNG(seed*2_000_000_011 + uint64(t)*17 + 3)
+		zipfs[t] = stats.NewZipf(rngs[t].Split(), heapBlocks, r.wl.HeapSkew)
+		startInstr[t] = w.Instructions
+		startBr[t] = w.Branches
+	}
+
+	r.branches = &s
+	defer func() { r.branches = nil; r.space.SetRecorder(nil) }()
+
+	runChunk := func(t int) ([]trace.Access, bool) {
+		w := r.walkers[t]
+		if w.Instructions-startInstr[t] >= perThread {
+			return nil, false
+		}
+		r.capture = r.capture[:0]
+		r.curTid = uint8(t & 0x0f)
+		r.space.SetRecorder(func(a trace.Access) { r.capture = append(r.capture, a) })
+		executed := w.Run(chunkInstrs)
+		// Issue the data accesses this chunk implies.
+		rng := rngs[t]
+		loads := int(executed) * r.wl.LoadsPerKI / 1000
+		stores := int(executed) * r.wl.StoresPerKI / 1000
+		for i := 0; i < loads+stores; i++ {
+			kind := trace.Read
+			if i >= loads {
+				kind = trace.Write
+			}
+			var addr uint64
+			if r.scan != nil && rng.Bool(r.wl.StreamFrac) {
+				addr = r.scan.Base() + r.scanPos[t]
+				r.scanPos[t] += uint64(r.wl.AccessBytes)
+				if r.scanPos[t]+64 >= uint64(r.wl.ScanBytes) {
+					r.scanPos[t] = 0
+				}
+				r.scan.Touch(r.curTid, addr, r.wl.AccessBytes, kind)
+				continue
+			}
+			addr = r.heap.Base() + zipfs[t].Next()*64 + uint64(rng.Intn(64-r.wl.AccessBytes+1))
+			r.heap.Touch(r.curTid, addr, r.wl.AccessBytes, kind)
+		}
+		r.space.SetRecorder(nil)
+		buf := make([]trace.Access, len(r.capture))
+		copy(buf, r.capture)
+		return buf, true
+	}
+
+	iv := newInterleaver(threads, 64, s.Access, runChunk)
+	st.Accesses = iv.run()
+	for t := 0; t < threads; t++ {
+		st.Instructions += r.walkers[t].Instructions - startInstr[t]
+		st.Branches += r.walkers[t].Branches - startBr[t]
+	}
+	return st
+}

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+
+	"searchmem/internal/platform"
+	"searchmem/internal/trace"
+)
+
+// tinyLeaf is a fast-building leaf profile for unit tests.
+func tinyLeaf() SearchWorkload { return S1Leaf(32) }
+
+func TestInterleaverRoundRobin(t *testing.T) {
+	mk := func(th uint8, n int) []trace.Access {
+		out := make([]trace.Access, n)
+		for i := range out {
+			out[i] = trace.Access{Thread: th, Addr: uint64(i)}
+		}
+		return out
+	}
+	served := map[int]int{0: 0, 1: 0}
+	var order []uint8
+	iv := newInterleaver(2, 2, func(a trace.Access) { order = append(order, a.Thread) },
+		func(th int) ([]trace.Access, bool) {
+			if served[th] >= 2 {
+				return nil, false
+			}
+			served[th]++
+			return mk(uint8(th), 3), true
+		})
+	n := iv.run()
+	if n != 12 {
+		t.Fatalf("emitted %d accesses, want 12", n)
+	}
+	// Bursts of 2 must alternate threads until drained.
+	if order[0] != order[1] || order[0] == order[2] {
+		t.Fatalf("burst pattern wrong: %v", order[:4])
+	}
+	c0, c1 := 0, 0
+	for _, th := range order {
+		if th == 0 {
+			c0++
+		} else {
+			c1++
+		}
+	}
+	if c0 != 6 || c1 != 6 {
+		t.Fatalf("thread shares %d/%d", c0, c1)
+	}
+}
+
+func TestInterleaverEmptyThread(t *testing.T) {
+	iv := newInterleaver(2, 4, nil, func(th int) ([]trace.Access, bool) {
+		return nil, false
+	})
+	if n := iv.run(); n != 0 {
+		t.Fatalf("emitted %d from empty threads", n)
+	}
+}
+
+func TestSearchRunnerBasics(t *testing.T) {
+	r := tinyLeaf().Build()
+	var accesses, branches int64
+	st := r.Run(2, 300_000, 1, Sinks{
+		Access: func(trace.Access) { accesses++ },
+		Branch: func(uint8, uint64, bool) { branches++ },
+	})
+	if st.Instructions < 300_000 {
+		t.Fatalf("instructions %d below budget", st.Instructions)
+	}
+	if st.Queries == 0 || st.PostingsDecoded == 0 {
+		t.Fatalf("no work done: %+v", st)
+	}
+	if accesses != st.Accesses || accesses == 0 {
+		t.Fatalf("access accounting: sink %d vs stats %d", accesses, st.Accesses)
+	}
+	if branches == 0 || st.Branches == 0 {
+		t.Fatal("no branches emitted")
+	}
+}
+
+func TestSearchRunnerThreadSpread(t *testing.T) {
+	r := tinyLeaf().Build()
+	seen := map[uint8]int{}
+	r.Run(4, 400_000, 2, Sinks{Access: func(a trace.Access) { seen[a.Thread]++ }})
+	if len(seen) != 4 {
+		t.Fatalf("accesses from %d threads, want 4", len(seen))
+	}
+	for th, n := range seen {
+		if n < 1000 {
+			t.Fatalf("thread %d contributed only %d accesses", th, n)
+		}
+	}
+}
+
+func TestSearchRunnerSegmentsPresent(t *testing.T) {
+	r := tinyLeaf().Build()
+	var bySeg [trace.NumSegments]int64
+	r.Run(1, 300_000, 3, Sinks{Access: func(a trace.Access) { bySeg[a.Seg]++ }})
+	for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
+		if bySeg[seg] == 0 {
+			t.Fatalf("no %v accesses in trace", seg)
+		}
+	}
+	// Code fetches should be a large share (one per basic block).
+	total := bySeg[0] + bySeg[1] + bySeg[2] + bySeg[3]
+	if float64(bySeg[trace.Code])/float64(total) < 0.2 {
+		t.Fatalf("code share %.2f too small", float64(bySeg[trace.Code])/float64(total))
+	}
+}
+
+func TestSearchRunnerDeterministicWithSameSeed(t *testing.T) {
+	run := func() int64 {
+		r := tinyLeaf().Build()
+		var sum int64
+		r.Run(2, 200_000, 7, Sinks{Access: func(a trace.Access) { sum += int64(a.Addr & 0xffff) }})
+		return sum
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different traces")
+	}
+}
+
+func TestSearchRunnerPanics(t *testing.T) {
+	r := tinyLeaf().Build()
+	for i, f := range []func(){
+		func() { r.Run(0, 1000, 1, Sinks{}) },
+		func() { r.Run(100, 1000, 1, Sinks{}) }, // exceeds MaxSessions
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSyntheticRunnerBasics(t *testing.T) {
+	w := CloudSuiteWebSearch()
+	r := w.Build()
+	var bySeg [trace.NumSegments]int64
+	st := r.Run(2, 200_000, 1, Sinks{Access: func(a trace.Access) { bySeg[a.Seg]++ }})
+	if st.Instructions < 200_000 {
+		t.Fatalf("instructions %d", st.Instructions)
+	}
+	if bySeg[trace.Code] == 0 || bySeg[trace.Heap] == 0 || bySeg[trace.Stack] == 0 {
+		t.Fatalf("segment mix: %v", bySeg)
+	}
+	if r.Name() != "cloudsuite-websearch" {
+		t.Fatal("name")
+	}
+	if r.MemOverlap() <= 0 {
+		t.Fatal("mem overlap unset")
+	}
+}
+
+func TestSyntheticValidate(t *testing.T) {
+	bad := []func(SyntheticWorkload) SyntheticWorkload{
+		func(w SyntheticWorkload) SyntheticWorkload { w.HeapBytes = 0; return w },
+		func(w SyntheticWorkload) SyntheticWorkload { w.HeapSkew = 0; return w },
+		func(w SyntheticWorkload) SyntheticWorkload { w.LoadsPerKI, w.StoresPerKI = 0, 0; return w },
+		func(w SyntheticWorkload) SyntheticWorkload { w.StreamFrac = 0.5; w.ScanBytes = 0; return w },
+		func(w SyntheticWorkload) SyntheticWorkload { w.MemOverlapFactor = 2; return w },
+		func(w SyntheticWorkload) SyntheticWorkload { w.AccessBytes = 0; return w },
+	}
+	for i, mut := range bad {
+		if err := mut(SPECPerlbench()).Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	for _, w := range []SyntheticWorkload{SPECPerlbench(), SPECMcf(), SPECGobmk(), SPECOmnetpp(), CloudSuiteWebSearch()} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.WLName, err)
+		}
+	}
+}
+
+func TestSearchWorkloadValidate(t *testing.T) {
+	bad := []func(SearchWorkload) SearchWorkload{
+		func(w SearchWorkload) SearchWorkload { w.MinTerms = 0; return w },
+		func(w SearchWorkload) SearchWorkload { w.MaxTerms = 0; return w },
+		func(w SearchWorkload) SearchWorkload { w.QueryTermSkew = 0; return w },
+		func(w SearchWorkload) SearchWorkload { w.RepeatFrac = 2; return w },
+		func(w SearchWorkload) SearchWorkload { w.StackBytes = 0; return w },
+	}
+	for i, mut := range bad {
+		if err := mut(tinyLeaf()).Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	for _, w := range []SearchWorkload{
+		S1Leaf(32), S2Leaf(32), S3Leaf(32), S1Root(32), S2Root(32), S3Root(32), S1LeafSweep(32),
+	} {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.WLName, err)
+		}
+	}
+}
+
+func TestMeasureSmoke(t *testing.T) {
+	r := tinyLeaf().Build()
+	m := Measure(r, MeasureConfig{
+		Platform: platform.PLT1().ScaleCaches(16),
+		Cores:    2, SMTWays: 1, Threads: 2,
+		Budget: 400_000,
+		Seed:   1,
+	})
+	if m.IPC <= 0 || m.IPC > 4 {
+		t.Fatalf("IPC %v out of range", m.IPC)
+	}
+	if m.Instructions < 400_000 {
+		t.Fatalf("instructions %d", m.Instructions)
+	}
+	if m.L3HitRate <= 0 || m.L3HitRate > 1 {
+		t.Fatalf("L3 hit rate %v", m.L3HitRate)
+	}
+	if m.BranchMPKI <= 0 {
+		t.Fatal("no branch mispredictions measured")
+	}
+	sum := m.Breakdown.Sum()
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("breakdown sums to %v", sum)
+	}
+	if m.AMATNS < platform.PLT1().L3LatencyNS || m.AMATNS > platform.PLT1().MemLatencyNS {
+		t.Fatalf("AMAT %v outside [tL3, tMEM]", m.AMATNS)
+	}
+}
+
+func TestMeasureWithL4(t *testing.T) {
+	r := tinyLeaf().Build()
+	base := MeasureConfig{
+		Platform: platform.PLT1().ScaleCaches(64),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget: 400_000,
+		Seed:   2,
+	}
+	noL4 := Measure(r, base)
+	withL4 := base
+	withL4.L4Size = 4 << 20
+	r2 := tinyLeaf().Build()
+	l4 := Measure(r2, withL4)
+	if l4.L4HitRate <= 0 {
+		t.Fatal("L4 never hit")
+	}
+	if l4.AMATNS >= noL4.AMATNS {
+		t.Fatalf("L4 did not reduce AMAT: %v vs %v", l4.AMATNS, noL4.AMATNS)
+	}
+	if l4.IPC <= noL4.IPC {
+		t.Fatalf("L4 did not raise IPC: %v vs %v", l4.IPC, noL4.IPC)
+	}
+}
+
+func TestMeasureCATReducesHitRate(t *testing.T) {
+	full := Measure(tinyLeaf().Build(), MeasureConfig{
+		Platform: platform.PLT1().ScaleCaches(16),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget: 400_000, Seed: 3,
+	})
+	partitioned := Measure(tinyLeaf().Build(), MeasureConfig{
+		Platform: platform.PLT1().ScaleCaches(16),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		L3Ways: 2,
+		Budget: 400_000, Seed: 3,
+	})
+	if partitioned.L3HitRate >= full.L3HitRate {
+		t.Fatalf("CAT partitioning did not reduce hit rate: %v vs %v",
+			partitioned.L3HitRate, full.L3HitRate)
+	}
+	if partitioned.IPC >= full.IPC {
+		t.Fatalf("CAT partitioning did not reduce IPC: %v vs %v", partitioned.IPC, full.IPC)
+	}
+}
+
+func TestPaperUnitsRoundTrip(t *testing.T) {
+	if PaperUnits(SimUnits(1<<30)) != 1<<30 {
+		t.Fatal("unit conversion round trip failed")
+	}
+	if SimUnits(1<<30) != (1<<30)/SweepScale {
+		t.Fatal("sim units wrong")
+	}
+}
