@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build vet test race ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: build vet test race

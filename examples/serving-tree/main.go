@@ -46,4 +46,9 @@ func main() {
 	fmt.Printf("  p50 / p95 / p99        %.2f / %.2f / %.2f ms\n",
 		st.P50NS/1e6, st.P95NS/1e6, st.P99NS/1e6)
 	fmt.Printf("  modeled QPS            %.0f\n", st.QPS)
+
+	fmt.Println("\nper-stage metrics:")
+	for _, s := range cluster.Metrics().Stages() {
+		fmt.Printf("  %s\n", s)
+	}
 }

@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"explore",                       // §IV extension: design-space search
 		"splitl2",                       // §V extension: split I/D L2 what-if
 		"missclass", "bandwidth", "slo", // §II-§IV extensions
+		"degraded", // §II extension: fault-tolerant serving tier
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -29,6 +29,12 @@ func init() {
 		PaperRef: "§IV-B (extension)",
 		Run:      runSLO,
 	})
+	register(Experiment{
+		ID:       "degraded",
+		Title:    "Serving tree under fault injection: deadlines, hedging, partial results",
+		PaperRef: "§II (extension)",
+		Run:      runDegraded,
+	})
 }
 
 // runMissClass reproduces the §III-C discussion as numbers: shard misses
@@ -132,6 +138,57 @@ func runSLO(c *Context) (Result, error) {
 		fmt.Sprintf("%.2f", rebal.MeanLatencyNS/1e6),
 		fmt.Sprintf("%.2f", rebal.P95NS/1e6),
 		fmt.Sprintf("%.2f", rebal.P99NS/1e6))
+	return t, nil
+}
+
+// runDegraded exercises the fault-tolerant serving tier: the same
+// Zipf-popular load against a healthy tree and one with 10% stragglers,
+// 2% post-work failures, and 1% flapping shards, with per-leaf deadlines
+// and hedged retries bounding the tail. Per-stage metrics come from the
+// cluster's registry.
+func runDegraded(c *Context) (Result, error) {
+	run := func(faulty bool) (serving.LoadStats, serving.Metrics) {
+		cfg := serving.DefaultConfig()
+		cfg.Leaves = 16
+		cfg.LeafDeadlineNS = 8e6
+		cfg.HedgeDelayNS = 4e6
+		var execs []serving.Executor
+		if faulty {
+			for i := 0; i < cfg.Leaves; i++ {
+				execs = append(execs, &serving.FaultyExecutor{
+					Inner:    serving.NewSyntheticExecutor(uint32(i), cfg.TopK),
+					SlowProb: 0.10, SlowFactor: 8,
+					FailProb: 0.02,
+					FlapProb: 0.01,
+					Seed:     c.Opts.Seed + uint64(i)*7919,
+				})
+			}
+		}
+		cl := serving.NewCluster(cfg, execs)
+		st := serving.RunLoad(cl, 8, 250, 3000, 0.9, c.Opts.Seed+47)
+		return st, cl.Metrics()
+	}
+	healthy, hm := run(false)
+	faulty, fm := run(true)
+
+	t := &Table{
+		Title:   "Serving tree with 8 ms leaf deadline + 4 ms hedging (16 leaves)",
+		Headers: []string{"load", "p50 ms", "p95 ms", "p99 ms", "partial", "hedges", "hedge wins", "timeouts", "failures"},
+		Note:    "10% stragglers/2% failures/1% flaps: hedged retries recover most faults; the rest degrade to partial results with the tail pinned at the deadline",
+	}
+	row := func(name string, st serving.LoadStats, m serving.Metrics) {
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", st.P50NS/1e6),
+			fmt.Sprintf("%.2f", st.P95NS/1e6),
+			fmt.Sprintf("%.2f", st.P99NS/1e6),
+			fmt.Sprintf("%d", st.PartialResults),
+			fmt.Sprintf("%d", m.HedgesIssued),
+			fmt.Sprintf("%d", m.HedgeWins),
+			fmt.Sprintf("%d", m.LeafTimeouts),
+			fmt.Sprintf("%d", m.LeafFailures))
+	}
+	row("healthy", healthy, hm)
+	row("faulty", faulty, fm)
 	return t, nil
 }
 

@@ -43,16 +43,13 @@ func (t *TopK) Push(doc uint32, score float32) {
 		t.up(len(t.docs) - 1)
 		return
 	}
-	// Replace the root if the candidate beats the current weakest.
-	t.docs = append(t.docs, doc)
-	t.scores = append(t.scores, score)
-	beats := t.worse(0, len(t.docs)-1)
-	t.docs = t.docs[:t.k]
-	t.scores = t.scores[:t.k]
-	if beats {
-		t.docs[0], t.scores[0] = doc, score
-		t.down(0)
+	// Saturated: compare against the root (the current weakest) directly —
+	// no append past k, no truncation, no allocation on the hot path.
+	if score < t.scores[0] || (score == t.scores[0] && doc >= t.docs[0]) {
+		return
 	}
+	t.docs[0], t.scores[0] = doc, score
+	t.down(0)
 }
 
 func (t *TopK) up(i int) {

@@ -107,6 +107,45 @@ func TestTopKTieBreaksByDocID(t *testing.T) {
 	}
 }
 
+// TestTopKSaturatedPushDoesNotAllocate is the regression test for the
+// saturated-push hot path: Push used to append the candidate past k and
+// truncate, reallocating both backing arrays on the first saturated push
+// and copying on every one after.
+func TestTopKSaturatedPushDoesNotAllocate(t *testing.T) {
+	const k = 8 // append growth lands cap exactly at k, exposing the realloc
+	const runs = 64
+	tks := make([]*TopK, runs+1)
+	for i := range tks {
+		tks[i] = NewTopK(k)
+		for j := 0; j < k; j++ {
+			tks[i].Push(uint32(j), float32(j))
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(runs, func() {
+		tks[i].Push(uint32(100+i), float32(k+1)) // beats the root
+		tks[i].Push(uint32(200+i), -1)           // loses to the root
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("saturated Push allocates %.1f times per call pair, want 0", avg)
+	}
+}
+
+func BenchmarkTopKPushSaturated(b *testing.B) {
+	rng := stats.NewRNG(1)
+	scores := make([]float32, 4096)
+	for i := range scores {
+		scores[i] = float32(rng.Intn(10_000)) / 100
+	}
+	tk := NewTopK(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Push(uint32(i), scores[i&4095])
+	}
+}
+
 func TestTopKPanicsOnZeroK(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,85 @@
+package serving
+
+import (
+	"errors"
+
+	"searchmem/internal/stats"
+)
+
+// ErrInjectedFault is returned by FaultyExecutor for injected failures.
+var ErrInjectedFault = errors.New("serving: injected leaf fault")
+
+// FaultyExecutor wraps an Executor with deterministic fault injection. Each
+// call independently draws three faults, in order:
+//
+//   - flap (probability FlapProb): the shard is unreachable; the call fails
+//     fast after FlapLatencyNS without doing any work.
+//   - slow (probability SlowProb): the call's service latency is multiplied
+//     by SlowFactor (a straggler).
+//   - fail (probability FailProb): the call does its full work, then fails
+//     (crash before responding), so the fault is detected only after the
+//     whole service time.
+//
+// Randomness is derived from (Seed, terms) via stats.RNG, not from shared
+// mutable state: a given query against a given shard always behaves the
+// same no matter how goroutines are scheduled, which keeps simulations
+// reproducible under concurrency. Hedged retries recover because the
+// sibling shard carries a different Seed.
+type FaultyExecutor struct {
+	// Inner is the wrapped executor.
+	Inner Executor
+	// SlowProb and SlowFactor shape straggler injection (SlowFactor
+	// defaults to 4 when unset).
+	SlowProb   float64
+	SlowFactor float64
+	// FailProb is the probability of a post-work failure.
+	FailProb float64
+	// FlapProb and FlapLatencyNS shape fail-fast unavailability
+	// (FlapLatencyNS defaults to 1e5, about one network hop).
+	FlapProb      float64
+	FlapLatencyNS float64
+	// Seed decorrelates fault streams between shards.
+	Seed uint64
+}
+
+// callRNG derives the per-call fault stream from (Seed, terms).
+func (f *FaultyExecutor) callRNG(terms []uint32) *stats.RNG {
+	h := f.Seed*0x9e3779b97f4a7c15 + 0x1234567
+	for _, t := range terms {
+		h = h*6364136223846793005 + uint64(t) + 1
+	}
+	return stats.NewRNG(h)
+}
+
+// SearchErr implements FallibleExecutor.
+func (f *FaultyExecutor) SearchErr(terms []uint32) ([]uint32, []float32, float64, error) {
+	rng := f.callRNG(terms)
+	if rng.Bool(f.FlapProb) {
+		flap := f.FlapLatencyNS
+		if flap <= 0 {
+			flap = 1e5
+		}
+		return nil, nil, flap, ErrInjectedFault
+	}
+	docs, scores, lat := f.Inner.Search(terms)
+	if rng.Bool(f.SlowProb) {
+		factor := f.SlowFactor
+		if factor <= 0 {
+			factor = 4
+		}
+		lat *= factor
+	}
+	if rng.Bool(f.FailProb) {
+		return nil, nil, lat, ErrInjectedFault
+	}
+	return docs, scores, lat, nil
+}
+
+// Search implements Executor; failures surface as empty results.
+func (f *FaultyExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
+	docs, scores, lat, err := f.SearchErr(terms)
+	if err != nil {
+		return nil, nil, lat
+	}
+	return docs, scores, lat
+}

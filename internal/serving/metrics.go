@@ -1,0 +1,181 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+
+	"searchmem/internal/stats"
+)
+
+// StageMetrics is a point-in-time summary of one serving-pipeline stage.
+type StageMetrics struct {
+	// Name identifies the stage (frontend, cache-probe, leaf-service,
+	// merge).
+	Name string
+	// Count is the number of observations.
+	Count int64
+	// MeanNS/P50NS/P95NS/P99NS describe the stage's virtual-latency
+	// distribution.
+	MeanNS, P50NS, P95NS, P99NS float64
+}
+
+// String implements fmt.Stringer.
+func (s StageMetrics) String() string {
+	return fmt.Sprintf("%-12s n=%-7d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms",
+		s.Name, s.Count, s.MeanNS/1e6, s.P50NS/1e6, s.P95NS/1e6, s.P99NS/1e6)
+}
+
+// Metrics is a snapshot of the cluster's per-stage latency distributions
+// and fault-tolerance counters.
+type Metrics struct {
+	// Frontend, CacheProbe, LeafService and Merge are the pipeline stages.
+	// LeafService observes every leaf attempt (primaries and hedges, raw
+	// service time before congestion); Merge observes the fan-out span a
+	// query spent below the root (parent wait plus tree hops).
+	Frontend, CacheProbe, LeafService, Merge StageMetrics
+	// Queries and CacheHits mirror the cluster counters.
+	Queries, CacheHits int64
+	// HedgesIssued and HedgeWins count hedged retries and the share that
+	// answered before the primary.
+	HedgesIssued, HedgeWins int64
+	// LeafFailures counts failed primary leaf attempts (including ones a
+	// hedge later recovered); LeafTimeouts counts leaves dropped from a
+	// merge at the deadline.
+	LeafFailures, LeafTimeouts int64
+	// PartialResults counts queries answered with a degraded merge.
+	PartialResults int64
+}
+
+// Stages returns the pipeline stages in serving order.
+func (m Metrics) Stages() []StageMetrics {
+	return []StageMetrics{m.Frontend, m.CacheProbe, m.LeafService, m.Merge}
+}
+
+// stageAcc accumulates one stage (counter + latency histogram).
+type stageAcc struct {
+	count int64
+	hist  *stats.Histogram
+}
+
+func newStageAcc() stageAcc { return stageAcc{hist: stats.NewHistogram(8)} }
+
+func (s *stageAcc) observe(ns float64) {
+	s.count++
+	s.hist.Add(ns)
+}
+
+func (s *stageAcc) snapshot(name string) StageMetrics {
+	return StageMetrics{
+		Name:   name,
+		Count:  s.count,
+		MeanNS: s.hist.Mean(),
+		P50NS:  s.hist.Quantile(0.50),
+		P95NS:  s.hist.Quantile(0.95),
+		P99NS:  s.hist.Quantile(0.99),
+	}
+}
+
+// mergeEvents carries a query's fault-tolerance event counts and leaf
+// attempt latencies from the fan-out to the registry so the registry lock
+// is taken once per query.
+type mergeEvents struct {
+	hedges, hedgeWins  int64
+	failures, timeouts int64
+	attemptLatenciesNS []float64
+}
+
+func (e *mergeEvents) observe(o *leafOutcome) {
+	if o.hedged {
+		e.hedges++
+	}
+	if o.hedgeWon {
+		e.hedgeWins++
+	}
+	if o.failed {
+		e.failures++
+	}
+	if o.timedOut {
+		e.timeouts++
+	}
+	e.attemptLatenciesNS = append(e.attemptLatenciesNS, o.attemptLatenciesNS...)
+}
+
+func (e *mergeEvents) add(o mergeEvents) {
+	e.hedges += o.hedges
+	e.hedgeWins += o.hedgeWins
+	e.failures += o.failures
+	e.timeouts += o.timeouts
+	e.attemptLatenciesNS = append(e.attemptLatenciesNS, o.attemptLatenciesNS...)
+}
+
+// metricsRegistry is the cluster's concurrent-safe metrics store.
+type metricsRegistry struct {
+	mu                 sync.Mutex
+	frontend, probe    stageAcc
+	leafSvc, merge     stageAcc
+	queries, cacheHits int64
+	hedges, hedgeWins  int64
+	failures, timeouts int64
+	partials           int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		frontend: newStageAcc(),
+		probe:    newStageAcc(),
+		leafSvc:  newStageAcc(),
+		merge:    newStageAcc(),
+	}
+}
+
+// recordCacheHit logs a query short-circuited by the cache tier.
+func (m *metricsRegistry) recordCacheHit(frontendNS, probeNS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.cacheHits++
+	m.frontend.observe(frontendNS)
+	m.probe.observe(probeNS)
+}
+
+// recordServe logs a full tree traversal.
+func (m *metricsRegistry) recordServe(frontendNS float64, probed bool, probeNS, mergeNS float64, ev mergeEvents, partial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.frontend.observe(frontendNS)
+	if probed {
+		m.probe.observe(probeNS)
+	}
+	for _, lat := range ev.attemptLatenciesNS {
+		m.leafSvc.observe(lat)
+	}
+	m.merge.observe(mergeNS)
+	m.hedges += ev.hedges
+	m.hedgeWins += ev.hedgeWins
+	m.failures += ev.failures
+	m.timeouts += ev.timeouts
+	if partial {
+		m.partials++
+	}
+}
+
+// Metrics returns a snapshot of the per-stage metrics registry.
+func (c *Cluster) Metrics() Metrics {
+	m := c.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Frontend:       m.frontend.snapshot("frontend"),
+		CacheProbe:     m.probe.snapshot("cache-probe"),
+		LeafService:    m.leafSvc.snapshot("leaf-service"),
+		Merge:          m.merge.snapshot("merge"),
+		Queries:        m.queries,
+		CacheHits:      m.cacheHits,
+		HedgesIssued:   m.hedges,
+		HedgeWins:      m.hedgeWins,
+		LeafFailures:   m.failures,
+		LeafTimeouts:   m.timeouts,
+		PartialResults: m.partials,
+	}
+}

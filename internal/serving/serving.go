@@ -6,8 +6,14 @@
 // Time is virtual: every component charges modeled latency to the query and
 // parallel fan-out costs the maximum over children, which keeps simulations
 // deterministic and fast while producing realistic latency distributions.
-// The cluster is safe for concurrent use so examples can drive it with real
-// goroutines.
+// Leaves within a parent execute on real goroutines, so the cluster is safe
+// for concurrent use and exercisable under `go test -race`.
+//
+// The tier is fault tolerant: each leaf call carries a virtual-time deadline
+// with one hedged retry to a sibling shard, and parents merge whatever
+// arrived in time, marking the result Partial instead of stalling on slow or
+// failed leaves. See FaultyExecutor for deterministic fault injection and
+// Cluster.Metrics for per-stage observability.
 package serving
 
 import (
@@ -33,6 +39,12 @@ type Result struct {
 	FromCache bool
 	// LatencyNS is the modeled end-to-end latency.
 	LatencyNS float64
+	// Partial reports that at least one leaf missed its deadline or failed
+	// and the merge proceeded without it (always false for cache hits).
+	Partial bool
+	// LeavesAnswered counts the leaves whose results made the merge
+	// (0 for cache hits, which never touch the leaf tier).
+	LeavesAnswered int
 }
 
 // Executor evaluates a query against one shard and reports its modeled
@@ -41,6 +53,26 @@ type Executor interface {
 	// Search returns the shard-local top-k with scores, plus the modeled
 	// execution latency in nanoseconds.
 	Search(terms []uint32) (docs []uint32, scores []float32, latencyNS float64)
+}
+
+// FallibleExecutor is an Executor whose calls can also fail outright
+// (crashed shard, connection refused, corrupted response). The cluster
+// treats a failed call like a missed deadline: it retries via hedging when
+// enabled and otherwise drops the leaf from the merge.
+type FallibleExecutor interface {
+	Executor
+	// SearchErr is Search with an error channel: latencyNS is still
+	// meaningful on failure (it is when the parent detects the fault).
+	SearchErr(terms []uint32) (docs []uint32, scores []float32, latencyNS float64, err error)
+}
+
+// searchLeaf dispatches to the fallible interface when available.
+func searchLeaf(exec Executor, terms []uint32) ([]uint32, []float32, float64, error) {
+	if fe, ok := exec.(FallibleExecutor); ok {
+		return fe.SearchErr(terms)
+	}
+	docs, scores, lat := exec.Search(terms)
+	return docs, scores, lat, nil
 }
 
 // SyntheticExecutor is a deterministic stand-in for a real leaf engine:
@@ -106,23 +138,18 @@ type EngineExecutor struct {
 	NSPerInstr float64
 }
 
-// Search implements Executor.
+// Search implements Executor. Tree mode bypasses the engine's query cache:
+// cache hits store ids only, and fabricated rank-order scores must never
+// merge against real BM25 scores from sibling shards — the serving tier has
+// its own result cache at the cache-server level.
 func (e *EngineExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.Session.SkipCache = true
 	before := e.Session.Instructions()
 	r := e.Session.Execute(terms)
 	lat := float64(e.Session.Instructions()-before) * e.NSPerInstr
-	scores := r.Scores
-	if scores == nil {
-		// Query-cache hits store ids only; synthesize rank-order scores
-		// so upstream merging stays well-defined.
-		scores = make([]float32, len(r.Docs))
-		for i := range scores {
-			scores[i] = float32(len(r.Docs) - i)
-		}
-	}
-	return r.Docs, scores, lat
+	return r.Docs, r.Scores, lat
 }
 
 // Config shapes the serving tree.
@@ -146,9 +173,21 @@ type Config struct {
 	// model). Latency is scaled by 1/(1-rho) with rho the instantaneous
 	// utilization, the standard M/M/1-style congestion signal.
 	LeafCapacity int
+	// LeafDeadlineNS is the parent's per-leaf virtual-time deadline:
+	// leaves that cannot answer (even via a hedged retry) by the deadline
+	// are dropped from the merge and the result is marked Partial. 0
+	// disables deadlines; the parent then waits for every leaf.
+	LeafDeadlineNS float64
+	// HedgeDelayNS is the virtual time after which a parent issues one
+	// hedged retry of a still-pending leaf call to the next sibling shard
+	// in the same parent; a leaf failure detected earlier triggers the
+	// retry immediately. 0 disables hedging.
+	HedgeDelayNS float64
 }
 
-// DefaultConfig returns a small but fully structured tree.
+// DefaultConfig returns a small but fully structured tree. Deadlines and
+// hedging are off by default so the latency model matches the unhardened
+// tier exactly.
 func DefaultConfig() Config {
 	return Config{
 		Leaves:             12,
@@ -172,6 +211,9 @@ func (c Config) Validate() error {
 	if c.NetworkHopNS < 0 || c.RootOverheadNS < 0 || c.FrontendOverheadNS < 0 {
 		return fmt.Errorf("serving: negative latencies")
 	}
+	if c.LeafDeadlineNS < 0 || c.HedgeDelayNS < 0 {
+		return fmt.Errorf("serving: negative deadline or hedge delay")
+	}
 	return nil
 }
 
@@ -191,6 +233,7 @@ type Cluster struct {
 	cfg     Config
 	parents []*parent
 	cache   *cacheServer
+	metrics *metricsRegistry
 
 	mu sync.Mutex
 	// Queries and CacheHits count served requests.
@@ -204,7 +247,7 @@ func NewCluster(cfg Config, executors []Executor) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, metrics: newMetricsRegistry()}
 	if cfg.CacheSlots > 0 {
 		c.cache = newCacheServer(cfg.CacheSlots)
 	}
@@ -228,8 +271,134 @@ func NewCluster(cfg Config, executors []Executor) *Cluster {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// leafOutcome is one leaf call's contribution as seen by its parent.
+type leafOutcome struct {
+	docs   []uint32
+	scores []float32
+	// srcLeaf is the shard that produced the answer (the hedge sibling
+	// when the hedge won).
+	srcLeaf int
+	// arrivalNS is when the answer reached the parent (virtual time from
+	// fan-out start, congestion applied).
+	arrivalNS float64
+	// waitNS is how long the parent waited on this leaf before answering,
+	// giving up, or hitting the deadline.
+	waitNS float64
+	// answered reports whether the leaf's docs made the merge.
+	answered bool
+	// hedged/hedgeWon/failed/timedOut feed the metrics registry. failed
+	// marks a failed primary attempt even when the hedge recovered it;
+	// timedOut marks a leaf dropped at the deadline.
+	hedged, hedgeWon   bool
+	failed, timedOut   bool
+	attemptLatenciesNS []float64
+}
+
+// attempt is one executor call's raw outcome.
+type attempt struct {
+	docs   []uint32
+	scores []float32
+	lat    float64
+	err    error
+}
+
+// fanOutLeaves runs the parent's leaf calls with deadline and hedging
+// semantics in virtual time. Primaries run as one parallel phase, hedged
+// retries (to the next sibling shard, a stand-in for a replica) as a
+// second: within each phase every executor is called at most once, so
+// executors with internal RNG state draw in a deterministic order no
+// matter how the goroutines are scheduled.
+func (c *Cluster) fanOutLeaves(p *parent, terms []uint32, congestion float64) []leafOutcome {
+	deadline, hedgeDelay := c.cfg.LeafDeadlineNS, c.cfg.HedgeDelayNS
+	n := len(p.leaves)
+
+	prim := make([]attempt, n)
+	var wg sync.WaitGroup
+	for li := range p.leaves {
+		wg.Add(1)
+		go func(li int) {
+			defer wg.Done()
+			a := &prim[li]
+			a.docs, a.scores, a.lat, a.err = searchLeaf(p.leaves[li].exec, terms)
+		}(li)
+	}
+	wg.Wait()
+
+	// One hedged retry per leaf: issued at the hedge delay while the
+	// primary is still pending, or immediately when the primary fails
+	// first. Skipped when it could not possibly beat the deadline.
+	hedgeAt := make([]float64, n)
+	hedges := make([]attempt, n)
+	for li := range p.leaves {
+		hedgeAt[li] = -1
+		if hedgeDelay <= 0 || n < 2 {
+			continue
+		}
+		arrival := prim[li].lat * congestion
+		issueAt := -1.0
+		if prim[li].err != nil {
+			issueAt = arrival
+		} else if arrival > hedgeDelay {
+			issueAt = hedgeDelay
+		}
+		if issueAt >= 0 && (deadline == 0 || issueAt < deadline) {
+			hedgeAt[li] = issueAt
+			wg.Add(1)
+			go func(li int) {
+				defer wg.Done()
+				a := &hedges[li]
+				a.docs, a.scores, a.lat, a.err = searchLeaf(p.leaves[(li+1)%n].exec, terms)
+			}(li)
+		}
+	}
+	wg.Wait()
+
+	outs := make([]leafOutcome, n)
+	for li := range p.leaves {
+		out := &outs[li]
+		out.srcLeaf = p.leaves[li].id
+		out.attemptLatenciesNS = append(out.attemptLatenciesNS, prim[li].lat)
+		docs, scores := prim[li].docs, prim[li].scores
+		arrival := prim[li].lat * congestion
+		ok := prim[li].err == nil
+		out.failed = !ok
+
+		if hedgeAt[li] >= 0 {
+			h := hedges[li]
+			out.attemptLatenciesNS = append(out.attemptLatenciesNS, h.lat)
+			out.hedged = true
+			hArrival := hedgeAt[li] + h.lat*congestion
+			if h.err == nil && (!ok || hArrival < arrival) {
+				docs, scores, arrival, ok = h.docs, h.scores, hArrival, true
+				out.srcLeaf = p.leaves[(li+1)%n].id
+				out.hedgeWon = true
+			} else if !ok && hArrival > arrival {
+				// Both attempts failed; the parent learns at the later one.
+				arrival = hArrival
+			}
+		}
+
+		switch {
+		case !ok:
+			out.waitNS = arrival
+			if deadline > 0 && out.waitNS > deadline {
+				out.waitNS = deadline
+			}
+		case deadline > 0 && arrival > deadline:
+			out.timedOut = true
+			out.waitNS = deadline
+		default:
+			out.answered = true
+			out.docs, out.scores = docs, scores
+			out.arrivalNS, out.waitNS = arrival, arrival
+		}
+	}
+	return outs
+}
+
 // Serve runs one query through the full tree and returns the merged result
-// with its modeled latency.
+// with its modeled latency. Leaves execute on real goroutines; merging is
+// deterministic (leaf order) regardless of scheduling.
 func (c *Cluster) Serve(q Query) Result {
 	c.mu.Lock()
 	c.Queries++
@@ -251,11 +420,14 @@ func (c *Cluster) Serve(q Query) Result {
 
 	lat := c.cfg.FrontendOverheadNS
 	tag := cacheTag(q.Terms)
+	probed := false
 	if c.cache != nil {
+		probed = true
 		if docs, scores, ok := c.cache.get(tag); ok {
 			c.mu.Lock()
 			c.CacheHits++
 			c.mu.Unlock()
+			c.metrics.recordCacheHit(c.cfg.FrontendOverheadNS, c.cfg.NetworkHopNS)
 			return Result{Docs: docs, Scores: scores, FromCache: true, LatencyNS: lat + c.cfg.NetworkHopNS}
 		}
 		lat += c.cfg.NetworkHopNS // cache miss probe
@@ -263,12 +435,14 @@ func (c *Cluster) Serve(q Query) Result {
 	lat += c.cfg.RootOverheadNS
 
 	// Root fans out to parents, parents to leaves; parallel hops cost the
-	// slowest child. Real goroutines make the cluster exercisable under
-	// concurrent load in examples.
+	// slowest child, parents give up on a leaf at the deadline.
 	type branch struct {
-		docs   []uint32
-		scores []float32
-		lat    float64
+		docs     []uint32
+		scores   []float32
+		lat      float64
+		partial  bool
+		answered int
+		events   mergeEvents
 	}
 	results := make([]branch, len(c.parents))
 	var wg sync.WaitGroup
@@ -276,30 +450,64 @@ func (c *Cluster) Serve(q Query) Result {
 		wg.Add(1)
 		go func(pi int, p *parent) {
 			defer wg.Done()
-			tk := search.NewTopK(c.cfg.TopK)
-			var worst float64
-			for _, lf := range p.leaves {
-				docs, scores, leafLat := lf.exec.Search(q.Terms)
-				if leafLat > worst {
-					worst = leafLat
-				}
-				for i := range docs {
-					// Disambiguate doc ids across shards.
-					tk.Push(docs[i]*uint32(c.cfg.Leaves)+uint32(lf.id), scores[i])
+			outs := c.fanOutLeaves(p, q.Terms, congestion)
+
+			// Merge in leaf order so results are deterministic no matter
+			// how the goroutines above were scheduled. A winning hedge
+			// returns the sibling shard's docs, which duplicate the
+			// sibling's own answer — dedupe only then, keeping the
+			// no-hedging path allocation-free.
+			var seen map[uint32]struct{}
+			for _, o := range outs {
+				if o.hedgeWon {
+					seen = make(map[uint32]struct{}, len(p.leaves)*c.cfg.TopK)
+					break
 				}
 			}
-			docs, scores := tk.Results()
-			results[pi] = branch{docs: docs, scores: scores, lat: worst*congestion + 2*c.cfg.NetworkHopNS}
+			tk := search.NewTopK(c.cfg.TopK)
+			b := branch{}
+			var wait float64
+			for _, o := range outs {
+				if o.waitNS > wait {
+					wait = o.waitNS
+				}
+				b.events.observe(&o)
+				if !o.answered {
+					b.partial = true
+					continue
+				}
+				b.answered++
+				for i := range o.docs {
+					// Disambiguate doc ids across shards.
+					id := o.docs[i]*uint32(c.cfg.Leaves) + uint32(o.srcLeaf)
+					if seen != nil {
+						if _, dup := seen[id]; dup {
+							continue
+						}
+						seen[id] = struct{}{}
+					}
+					tk.Push(id, o.scores[i])
+				}
+			}
+			b.docs, b.scores = tk.Results()
+			b.lat = wait + 2*c.cfg.NetworkHopNS
+			results[pi] = b
 		}(pi, p)
 	}
 	wg.Wait()
 
 	tk := search.NewTopK(c.cfg.TopK)
 	var worst float64
+	partial := false
+	answered := 0
+	var events mergeEvents
 	for _, b := range results {
 		if b.lat > worst {
 			worst = b.lat
 		}
+		partial = partial || b.partial
+		answered += b.answered
+		events.add(b.events)
 		for i := range b.docs {
 			tk.Push(b.docs[i], b.scores[i])
 		}
@@ -307,10 +515,14 @@ func (c *Cluster) Serve(q Query) Result {
 	docs, scores := tk.Results()
 	lat += worst + 2*c.cfg.NetworkHopNS
 
-	if c.cache != nil {
+	// Degraded merges are never cached: a later identical query should get
+	// another chance at a full answer, not a pinned partial one.
+	if c.cache != nil && !partial {
 		c.cache.put(tag, docs, scores)
 	}
-	return Result{Docs: docs, Scores: scores, LatencyNS: lat}
+	c.metrics.recordServe(c.cfg.FrontendOverheadNS, probed, c.cfg.NetworkHopNS,
+		worst+2*c.cfg.NetworkHopNS, events, partial)
+	return Result{Docs: docs, Scores: scores, LatencyNS: lat, Partial: partial, LeavesAnswered: answered}
 }
 
 // CacheHitRate returns the fraction of queries served by the cache tier.
@@ -334,6 +546,9 @@ func cacheTag(terms []uint32) uint64 {
 }
 
 // cacheServer is the cache tier: a sharded LRU map keyed by query tag.
+// Entries are defensively copied on both put and get: callers own the
+// slices in a Result and may mutate them, and a cached entry must survive
+// that (see TestCacheEntriesImmuneToCallerMutation).
 type cacheServer struct {
 	mu    sync.Mutex
 	slots int
@@ -357,14 +572,18 @@ func (s *cacheServer) get(tag uint64) ([]uint32, []float32, bool) {
 	if !ok {
 		return nil, nil, false
 	}
-	return e.docs, e.scores, true
+	return append([]uint32(nil), e.docs...), append([]float32(nil), e.scores...), true
 }
 
 func (s *cacheServer) put(tag uint64, docs []uint32, scores []float32) {
+	e := &cacheEntry{
+		docs:   append([]uint32(nil), docs...),
+		scores: append([]float32(nil), scores...),
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.data[tag]; exists {
-		s.data[tag] = &cacheEntry{docs: docs, scores: scores}
+		s.data[tag] = e
 		return
 	}
 	for len(s.data) >= s.slots && len(s.order) > 0 {
@@ -372,7 +591,7 @@ func (s *cacheServer) put(tag uint64, docs []uint32, scores []float32) {
 		s.order = s.order[1:]
 		delete(s.data, victim)
 	}
-	s.data[tag] = &cacheEntry{docs: docs, scores: scores}
+	s.data[tag] = e
 	s.order = append(s.order, tag)
 }
 
@@ -381,6 +600,8 @@ type LoadStats struct {
 	// Queries served and the cache-hit share.
 	Queries   int64
 	CacheHits int64
+	// PartialResults counts queries answered with a degraded merge.
+	PartialResults int64
 	// MeanLatencyNS, P50, P95 and P99 describe the virtual latency
 	// distribution.
 	MeanLatencyNS, P50NS, P95NS, P99NS float64
@@ -390,13 +611,17 @@ type LoadStats struct {
 
 // RunLoad drives the cluster with a closed-loop load of clients issuing
 // queries drawn Zipf-popular from vocabSize (popular queries repeat, which
-// is what makes the cache tier effective). It is deterministic given seed.
+// is what makes the cache tier effective). It is deterministic given seed
+// when run with a single client; with more clients, fault-injection
+// outcomes stay deterministic (see FaultyExecutor) but shared-RNG service
+// jitter depends on scheduling order.
 func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64, seed uint64) LoadStats {
 	if clients <= 0 || queriesPerClient <= 0 || vocabSize <= 0 {
 		panic("serving: load parameters must be positive")
 	}
 	hist := stats.NewHistogram(8)
 	var histMu sync.Mutex
+	var partials int64
 	var wg sync.WaitGroup
 	for cl := 0; cl < clients; cl++ {
 		wg.Add(1)
@@ -412,6 +637,9 @@ func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64,
 				r := c.Serve(Query{Terms: terms})
 				histMu.Lock()
 				hist.Add(r.LatencyNS)
+				if r.Partial {
+					partials++
+				}
 				histMu.Unlock()
 			}
 		}(cl)
@@ -420,12 +648,13 @@ func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64,
 
 	mean := hist.Mean()
 	st := LoadStats{
-		Queries:       c.Queries,
-		CacheHits:     c.CacheHits,
-		MeanLatencyNS: mean,
-		P50NS:         hist.Quantile(0.50),
-		P95NS:         hist.Quantile(0.95),
-		P99NS:         hist.Quantile(0.99),
+		Queries:        c.Queries,
+		CacheHits:      c.CacheHits,
+		PartialResults: partials,
+		MeanLatencyNS:  mean,
+		P50NS:          hist.Quantile(0.50),
+		P95NS:          hist.Quantile(0.95),
+		P99NS:          hist.Quantile(0.99),
 	}
 	if mean > 0 {
 		st.QPS = float64(clients) / (mean * 1e-9)

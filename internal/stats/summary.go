@@ -103,6 +103,14 @@ func (h *Histogram) bucketLow(i int) float64 {
 	return math.Exp2(float64(exp)) * (1 + frac)
 }
 
+// bucketMid returns the geometric mean of bucket i's bounds: the unbiased
+// representative value under the log-scaled layout. Returning the lower
+// bound instead would bias every reported quantile systematically low by up
+// to a full bucket width.
+func (h *Histogram) bucketMid(i int) float64 {
+	return math.Sqrt(h.bucketLow(i) * h.bucketLow(i+1))
+}
+
 // Add records one observation (values < 1 land in the first bucket).
 func (h *Histogram) Add(v float64) {
 	h.counts[h.bucket(v)]++
@@ -135,10 +143,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, c := range h.counts {
 		cum += c
 		if cum > target {
-			return h.bucketLow(i)
+			return h.bucketMid(i)
 		}
 	}
-	return h.bucketLow(len(h.counts) - 1)
+	return h.bucketMid(len(h.counts) - 1)
 }
 
 // Percentiles is a convenience helper returning the given percentiles

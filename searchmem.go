@@ -246,6 +246,14 @@ func NewCluster(cfg ClusterConfig, executors []serving.Executor) *Cluster {
 // DefaultClusterConfig returns a small but fully structured tree.
 func DefaultClusterConfig() ClusterConfig { return serving.DefaultConfig() }
 
+// ClusterMetrics is a snapshot of the serving tree's per-stage latency
+// distributions and fault-tolerance counters (see Cluster.Metrics).
+type ClusterMetrics = serving.Metrics
+
+// FaultyExecutor wraps a leaf executor with deterministic slow/fail/flap
+// fault injection for degradation studies.
+type FaultyExecutor = serving.FaultyExecutor
+
 // --- experiments ---
 
 // Options scales an experiment run.
