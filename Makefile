@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci
+.PHONY: all build vet lint test race ci
 
 all: build
 
@@ -10,10 +10,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint enforces the determinism & aliasing invariants (DESIGN.md §8):
+# go vet plus the repo's own stdlib-only analyzer suite.
+lint: vet
+	$(GO) run ./cmd/searchlint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-ci: build vet test race
+ci: build lint test race

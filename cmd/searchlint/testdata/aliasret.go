@@ -1,0 +1,81 @@
+// Fixture for the aliasret analyzer: methods on mutex-guarded or
+// cache-like (map-holding) types must not return internal slices/maps or
+// retain caller-owned ones without a defensive copy — the exact corruption
+// class fixed in the serving tier's cacheServer.
+package aliasret
+
+import "sync"
+
+type entry struct {
+	docs   []uint32
+	scores []float32
+}
+
+type cache struct {
+	mu    sync.Mutex
+	data  map[uint64]*entry
+	order []uint64
+}
+
+func (c *cache) getBad(tag uint64) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.data[tag]
+	if !ok {
+		return nil
+	}
+	return e.docs // want `getBad returns e\.docs, a slice aliasing c state`
+}
+
+func (c *cache) putBad(tag uint64, docs []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data[tag] = &entry{docs: docs} // want `putBad stores caller-owned slice "docs"`
+}
+
+func (c *cache) orderBad() []uint64 {
+	return c.order // want `orderBad returns c\.order, a slice aliasing c state`
+}
+
+func (c *cache) rebindBad(tag uint64, scores []float32) {
+	e := c.data[tag]
+	e.scores = scores // want `rebindBad stores caller-owned slice "scores"`
+}
+
+// registry is cache-like without a mutex: a bare map field still makes
+// escaping references a corruption hazard.
+type registry struct {
+	m map[string][]int
+}
+
+func (r registry) lookupBad(k string) []int {
+	return r.m[k] // want `lookupBad returns r\.m\[k\], a slice aliasing r state`
+}
+
+// Fixed forms: defensive copies break the alias on both paths.
+
+func (c *cache) getGood(tag uint64) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.data[tag]
+	if !ok {
+		return nil
+	}
+	return append([]uint32(nil), e.docs...)
+}
+
+func (c *cache) putGood(tag uint64, docs []uint32) {
+	docs = append([]uint32(nil), docs...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data[tag] = &entry{docs: docs}
+}
+
+func (r registry) lookupGood(k string) []int {
+	return append([]int(nil), r.m[k]...)
+}
+
+func (c *cache) snapshot() map[uint64]*entry {
+	//lint:ignore aliasret fixture: read-only view handed to a same-package caller that never mutates it
+	return c.data
+}

@@ -1,0 +1,87 @@
+// Fixture for the maporder analyzer. Diagnostics anchor at the `for`
+// keyword of the offending map range, so the want expectations (and any
+// suppression) sit on the loop line.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `append to keys \(line 15\) depends on nondeterministic map iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `output via fmt\.Printf \(line 22\)`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `write to b via WriteString \(line 29\)`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func badIntAccum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `accumulation total \+= \(line 37\)`
+		total += v
+	}
+	return total
+}
+
+func badStringAccum(m map[int]string) string {
+	out := ""
+	for _, v := range m { // want `accumulation out = out \+ \(line 45\)`
+		out = out + v
+	}
+	return out
+}
+
+// goodSortedKeys is the canonical fix: range over a sorted key slice (the
+// collection loop itself is the one sanctioned map range, suppressed with a
+// reason exactly as det.SortedKeys does).
+func goodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore maporder keys are sorted before any order-sensitive use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodMapToMap stays silent: writing another map is content-deterministic
+// whatever the iteration order.
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// goodPerIteration stays silent: the accumulator is declared inside the
+// loop body, so nothing order-sensitive escapes an iteration.
+func goodPerIteration(m map[string][]int) int {
+	last := 0
+	for _, vs := range m {
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		if sum > last {
+			last = sum // comparison, not accumulation
+		}
+	}
+	return last
+}

@@ -1,0 +1,39 @@
+// Fixture for the walltime analyzer: wall-clock reads are findings, virtual
+// time (plain counters denominated in time.Duration) is the fixed form, and
+// a justified //lint:ignore silences an intentional CLI timer.
+package walltime
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+// goodVirtual is the fixed form: simulation time is a counter advanced by
+// modeled service durations, never by the host clock.
+type goodVirtual struct{ nowNS int64 }
+
+func (c *goodVirtual) advance(d time.Duration) { c.nowNS += int64(d) }
+
+func (c *goodVirtual) now() int64 { return c.nowNS }
+
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:ignore walltime fixture: CLI progress timer that never feeds simulation state
+}
+
+func suppressedAbove() {
+	//lint:ignore walltime fixture: deliberate host-clock wait in a demo binary
+	time.Sleep(time.Millisecond)
+}

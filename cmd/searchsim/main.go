@@ -79,6 +79,7 @@ func main() {
 	}
 
 	for _, e := range selected {
+		//lint:ignore walltime CLI progress timer only; measures host elapsed time for -v output and never feeds simulation state
 		start := time.Now()
 		res, err := e.Run(ctx)
 		if err != nil {
@@ -88,6 +89,7 @@ func main() {
 		fmt.Printf("=== %s (%s) — %s\n", e.ID, e.PaperRef, e.Title)
 		fmt.Println(res.Render())
 		if *verbose {
+			//lint:ignore walltime CLI progress timer only; reports host elapsed time on stderr, not part of any experiment table
 			fmt.Fprintf(os.Stderr, "# %s took %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"searchmem/internal/det"
 	"searchmem/internal/trace"
 	"searchmem/internal/workload"
 )
@@ -47,7 +48,7 @@ func main() {
 
 	ps := profiles(*shrink)
 	if *list {
-		for name := range ps {
+		for _, name := range det.SortedKeys(ps) {
 			fmt.Println(name)
 		}
 		return

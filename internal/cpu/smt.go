@@ -3,6 +3,7 @@ package cpu
 import (
 	"fmt"
 
+	"searchmem/internal/det"
 	"searchmem/internal/stats"
 )
 
@@ -51,7 +52,10 @@ func (m SMTModel) Validate() error {
 func FitSMT(points map[int]float64) (SMTModel, error) {
 	type obs struct{ k, y float64 }
 	var data []obs
-	for n, sp := range points {
+	// Sorted iteration keeps the least-squares float sums below
+	// bit-identical run-to-run (map order would perturb their low bits).
+	for _, n := range det.SortedKeys(points) {
+		sp := points[n]
 		if n < 2 || sp <= 0 {
 			continue
 		}

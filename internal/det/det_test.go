@@ -1,0 +1,34 @@
+package det
+
+import (
+	"cmp"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := SortedKeys(map[int]bool{}); len(out) != 0 {
+		t.Fatalf("empty map: got %v", out)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	m := map[int]string{1: "a", 3: "c", 2: "b"}
+	got := SortedKeysFunc(m, func(a, b int) int { return cmp.Compare(b, a) }) // descending
+	want := []int{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSameSeedByteIdenticalOutput is the end-to-end property the searchlint
+// analyzers exist to protect: two experiment runs with the same seed must
+// render byte-identical tables — the exact stream cmd/searchsim prints.
+// Each run uses a fresh Context so nothing is shared but the seed.
+func TestSameSeedByteIdenticalOutput(t *testing.T) {
+	// A cross-section of the pipeline: measured workload characterization
+	// (table1), MPKI curves (fig2a), the L4 headline (fig6b), the SMT
+	// model (fig13), and the fault-injected serving tier (degraded).
+	ids := []string{"table1", "fig2a", "fig6b", "fig13", "degraded"}
+	if testing.Short() {
+		ids = []string{"table1", "fig13"}
+	}
+
+	render := func() string {
+		opts := Fast()
+		opts.Seed = 42
+		ctx := NewContext(opts)
+		var b strings.Builder
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			res, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			// Mirror cmd/searchsim's output framing.
+			fmt.Fprintf(&b, "=== %s (%s) — %s\n%s\n", e.ID, e.PaperRef, e.Title, res.Render())
+		}
+		return b.String()
+	}
+
+	first := render()
+	second := render()
+	if first == second {
+		return
+	}
+	// Pinpoint the first divergence for the report.
+	a, b := strings.Split(first, "\n"), strings.Split(second, "\n")
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverge at line %d:\n run1: %q\n run2: %q", i+1, a[i], b[i])
+		}
+	}
+	t.Fatalf("same-seed runs diverge in length: %d vs %d lines", len(a), len(b))
+}

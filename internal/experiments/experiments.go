@@ -10,10 +10,10 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
+	"searchmem/internal/det"
 	"searchmem/internal/platform"
 	"searchmem/internal/workload"
 )
@@ -257,11 +257,7 @@ func (f *Figure) Render() string {
 			xs[x] = struct{}{}
 		}
 	}
-	sorted := make([]float64, 0, len(xs))
-	for x := range xs {
-		sorted = append(sorted, x)
-	}
-	sort.Float64s(sorted)
+	sorted := det.SortedKeys(xs)
 
 	t := Table{Title: fmt.Sprintf("%s\n(y: %s)", f.Title, f.YLabel), Note: f.Note}
 	t.Headers = append(t.Headers, f.XLabel)

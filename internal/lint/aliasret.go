@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AliasRet flags the aliasing bug class PR 1 fixed in the serving cache:
+// a method on a lock-guarded or cache-like type (a struct with a sync.Mutex
+// / sync.RWMutex field or a map field) that lets an internal slice or map
+// escape — by returning it, or by storing a caller-owned parameter slice/map
+// into it — without a defensive copy. Once an internal slice is shared with
+// a caller, mutation on either side corrupts the cache behind the lock.
+//
+// The check is a per-method taint walk: values reached through the receiver
+// (s.data, s.data[k], locals assigned from them) are "internal"; returning
+// an internal slice/map, or storing an uncopied slice/map parameter into
+// internal state, is a finding. Copies break the taint: a call result
+// (append([]T(nil), x...)) and explicit sub-slicing are never flagged.
+var AliasRet = &Analyzer{
+	Name: "aliasret",
+	Doc:  "methods on mutex-guarded or cache-like types must not leak internal slices/maps or retain caller-owned ones without copying",
+	Run:  runAliasRet,
+}
+
+func runAliasRet(pass *Pass) {
+	guarded := guardedTypes(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvObj, why := receiverOfGuarded(pass, fd, guarded)
+			if recvObj == nil {
+				continue
+			}
+			checkMethodAliasing(pass, fd, recvObj, why)
+		}
+	}
+}
+
+// guardedTypes returns the package's named struct types that carry a
+// sync.Mutex/RWMutex field or a map field, keyed by their TypeName, with a
+// short human reason.
+func guardedTypes(pass *Pass) map[*types.TypeName]string {
+	out := make(map[*types.TypeName]string)
+	for _, obj := range pass.Pkg.Info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			if isSyncMutex(ft) {
+				out[tn] = "mutex-guarded"
+				break
+			}
+			if _, ok := ft.Underlying().(*types.Map); ok {
+				out[tn] = "cache-like (map field)"
+				break
+			}
+		}
+	}
+	return out
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// receiverOfGuarded returns the receiver variable of fd if its base type is
+// guarded, along with the guard reason.
+func receiverOfGuarded(pass *Pass, fd *ast.FuncDecl, guarded map[*types.TypeName]string) (types.Object, string) {
+	fields := fd.Recv.List
+	if len(fields) != 1 || len(fields[0].Names) != 1 {
+		return nil, "" // unnamed receiver: the body cannot reach its state
+	}
+	id := fields[0].Names[0]
+	obj := pass.Pkg.Info.Defs[id]
+	if obj == nil {
+		return nil, ""
+	}
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	why, ok := guarded[named.Obj()]
+	if !ok {
+		return nil, ""
+	}
+	return obj, why
+}
+
+// checkMethodAliasing taints values reached through the receiver and
+// reports escapes. The walk visits statements in source order, which is
+// enough precision for this heuristic: copies assigned back to a parameter
+// (p = append([]T(nil), p...)) kill the parameter before later stores.
+func checkMethodAliasing(pass *Pass, fd *ast.FuncDecl, recvObj types.Object, why string) {
+	recvName := recvObj.Name()
+	typeName := recvTypeName(recvObj)
+
+	// Caller-owned slice/map parameters.
+	params := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil && isSliceOrMap(obj.Type()) {
+				params[obj] = true
+			}
+		}
+	}
+
+	tainted := make(map[types.Object]bool)
+	killed := make(map[types.Object]bool)
+
+	// chain resolves expr to its root identifier and the number of
+	// selector/index steps taken. Calls and slice expressions block the
+	// chain: their results are fresh (or deliberately windowed) values.
+	chain := func(expr ast.Expr) (types.Object, int) {
+		steps := 0
+		for {
+			switch e := expr.(type) {
+			case *ast.Ident:
+				return pass.ObjectOf(e), steps
+			case *ast.SelectorExpr:
+				steps++
+				expr = e.X
+			case *ast.IndexExpr:
+				steps++
+				expr = e.X
+			case *ast.ParenExpr:
+				expr = e.X
+			case *ast.StarExpr:
+				expr = e.X
+			default:
+				return nil, 0
+			}
+		}
+	}
+	internal := func(expr ast.Expr) bool {
+		obj, steps := chain(expr)
+		if obj == nil {
+			return false
+		}
+		if obj == recvObj {
+			return steps > 0 // the receiver itself is not a container
+		}
+		return tainted[obj]
+	}
+	reportStore := func(pos token.Pos, param types.Object, dst ast.Expr) {
+		pass.Reportf(pos, "%s.%s stores caller-owned %s %q into %s %s state (%s) without copying; append([]T(nil), %s...) first",
+			typeName, fd.Name.Name, typeKind(param.Type()), param.Name(), recvName, why, types.ExprString(dst), param.Name())
+	}
+	checkStoredValue := func(pos token.Pos, dst, val ast.Expr) {
+		switch v := val.(type) {
+		case *ast.Ident:
+			if obj := pass.ObjectOf(v); obj != nil && params[obj] && !killed[obj] {
+				reportStore(pos, obj, dst)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if lit, ok := v.X.(*ast.CompositeLit); ok {
+					checkCompositeLit(pass, pos, dst, lit, params, killed, reportStore)
+				}
+			}
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, pos, dst, v, params, killed, reportStore)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			pairs := len(n.Lhs)
+			commaOK := len(n.Rhs) == 1 && len(n.Lhs) == 2
+			for i := 0; i < pairs; i++ {
+				var rhs ast.Expr
+				switch {
+				case i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case commaOK && i == 0:
+					rhs = n.Rhs[0]
+				default:
+					continue
+				}
+				lhs := n.Lhs[i]
+				if id, ok := lhs.(*ast.Ident); ok {
+					// Rebinding a local or parameter, not writing state.
+					obj := pass.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					if internal(rhs) {
+						tainted[obj] = true
+					} else {
+						delete(tainted, obj)
+						if _, isCall := rhs.(*ast.CallExpr); isCall && params[obj] {
+							killed[obj] = true // p = append([]T(nil), p...)
+						}
+					}
+					continue
+				}
+				// Writing through a field/index chain into internal state.
+				if obj, steps := chain(lhs); steps > 0 && (obj == recvObj || tainted[obj]) {
+					checkStoredValue(n.Pos(), lhs, rhs)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if internal(res) && isSliceOrMap(pass.TypeOf(res)) {
+					pass.Reportf(n.Pos(), "%s.%s returns %s, a %s aliasing %s state (%s); return a copy (append([]T(nil), ...))",
+						typeName, fd.Name.Name, types.ExprString(res), typeKind(pass.TypeOf(res)), recvName, why)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCompositeLit flags uncopied slice/map parameters stored through a
+// composite literal (the &cacheEntry{docs: docs} pattern).
+func checkCompositeLit(pass *Pass, pos token.Pos, dst ast.Expr, lit *ast.CompositeLit,
+	params map[types.Object]bool, killed map[types.Object]bool,
+	report func(token.Pos, types.Object, ast.Expr)) {
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		if id, ok := val.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil && params[obj] && !killed[obj] {
+				report(pos, obj, dst)
+			}
+		}
+	}
+}
+
+// recvTypeName names the receiver's base named type.
+func recvTypeName(obj types.Object) string {
+	t := obj.Type()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "receiver"
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "value"
+}

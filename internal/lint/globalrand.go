@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// randConstructors build explicitly-seeded generators and are therefore not
+// draws from the shared global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalRand flags math/rand (and math/rand/v2) package-level functions:
+// they draw from a process-global, unseeded-by-default source, so two runs
+// with the same experiment seed diverge. All randomness must flow through
+// the explicitly-seeded stats.RNG; only internal/stats, the module's single
+// randomness authority, is exempt.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "math/rand top-level functions use the global source; all randomness must flow through the seeded stats.RNG",
+	Run: func(pass *Pass) {
+		if strings.HasSuffix(pass.Pkg.Path, "internal/stats") {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, sel)
+				if fn == nil {
+					return true
+				}
+				if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "rand.%s draws from the global math/rand source; use the seeded stats.RNG instead", fn.Name())
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseSrc(t *testing.T, fset *token.FileSet, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "fixture", Files: []*ast.File{f}}
+}
+
+func TestMalformedIgnoreDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	pkg := parseSrc(t, fset, `package p
+
+//lint:ignore walltime
+var a int
+
+//lint:ignore
+var b int
+
+//lint:ignore walltime a good reason
+var c int
+`)
+	diags := Check(fset, []*Package{pkg}, nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-directive findings: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("malformed directive reported by %q, want pseudo-analyzer lint", d.Analyzer)
+		}
+	}
+}
+
+func TestSuppressionWindow(t *testing.T) {
+	dir := ignoreDirective{
+		file:      "f.go",
+		line:      10,
+		analyzers: map[string]bool{"walltime": true},
+		reason:    "r",
+	}
+	mk := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer}
+	}
+	cases := []struct {
+		d    Diagnostic
+		want bool
+	}{
+		{mk("f.go", 10, "walltime"), true},  // trailing comment, same line
+		{mk("f.go", 11, "walltime"), true},  // standalone comment, line above
+		{mk("f.go", 12, "walltime"), false}, // too far below
+		{mk("f.go", 9, "walltime"), false},  // directives never reach upward
+		{mk("f.go", 10, "maporder"), false}, // other analyzer
+		{mk("g.go", 10, "walltime"), false}, // other file
+	}
+	for i, c := range cases {
+		if got := dir.suppresses(c.d); got != c.want {
+			t.Errorf("case %d: suppresses(%+v) = %v, want %v", i, c.d.Pos, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers) {
+		t.Fatalf("empty selector: got %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := ByName("walltime, maporder")
+	if err != nil || len(two) != 2 || two[0].Name != "walltime" || two[1].Name != "maporder" {
+		t.Fatalf("ByName(walltime, maporder) = %v, %v", two, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch) succeeded, want error")
+	}
+}
+
+// TestLoadModuleSynthetic builds a toy module on disk and checks discovery,
+// dependency-ordered type-checking, testdata skipping, and Match patterns.
+func TestLoadModuleSynthetic(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module toy\n\ngo 1.22\n")
+	write("a/a.go", "package a\n\nconst N = 3\n")
+	write("b/b.go", "package b\n\nimport \"toy/a\"\n\nvar M = a.N * 2\n")
+	write("b/testdata/ignored.go", "package broken // never parsed: would fail to type-check\nfunc (")
+
+	mod, err := LoadModule(filepath.Join(root, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "toy" || mod.Dir != root {
+		t.Fatalf("module = %q at %q, want toy at %q", mod.Path, mod.Dir, root)
+	}
+	if len(mod.Pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2 (a, b): %+v", len(mod.Pkgs), mod.Pkgs)
+	}
+
+	sub, err := mod.Match([]string{"./a"})
+	if err != nil || len(sub) != 1 || sub[0].Path != "toy/a" {
+		t.Fatalf("Match(./a) = %v, %v", sub, err)
+	}
+	all, err := mod.Match([]string{"./..."})
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Match(./...) = %v, %v", all, err)
+	}
+	if _, err := mod.Match([]string{"./nosuch"}); err == nil {
+		t.Fatal("Match(./nosuch) succeeded, want error")
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// accumTokens are the compound-assignment operators that fold a value into
+// an existing variable.
+var accumTokens = map[token.Token]bool{
+	token.ADD_ASSIGN:     true,
+	token.SUB_ASSIGN:     true,
+	token.MUL_ASSIGN:     true,
+	token.QUO_ASSIGN:     true,
+	token.REM_ASSIGN:     true,
+	token.AND_ASSIGN:     true,
+	token.OR_ASSIGN:      true,
+	token.XOR_ASSIGN:     true,
+	token.SHL_ASSIGN:     true,
+	token.SHR_ASSIGN:     true,
+	token.AND_NOT_ASSIGN: true,
+}
+
+// writeMethods are output-sink method names (io.Writer, strings.Builder,
+// bytes.Buffer, tabwriter, ...).
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// MapOrder flags loops that range over a map while doing something whose
+// result depends on iteration order: appending to an outer slice, writing
+// output, or accumulating into an outer integer or string. Go randomizes
+// map iteration order per run, so such loops corrupt rendered tables and
+// orderings even when every element is itself deterministic. Fix by
+// iterating sorted keys (det.SortedKeys). Float accumulation — the variant
+// that also perturbs sums through non-associative rounding — is reported
+// separately by floatacc.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "ranging over a map while appending, writing output, or accumulating depends on nondeterministic iteration order",
+	Run: func(pass *Pass) {
+		inspectMapRanges(pass, func(rs *ast.RangeStmt) {
+			checkMapRangeBody(pass, rs, false)
+		})
+	},
+}
+
+// FloatAcc flags floating-point accumulation inside a map-range body.
+// Beyond the ordering problem maporder reports, float addition is not
+// associative: summing in map order yields run-to-run differing low bits,
+// which the paper's derived metrics (MPKI ratios, QPS deltas) then amplify.
+var FloatAcc = &Analyzer{
+	Name: "floatacc",
+	Doc:  "float += inside a map range accumulates in nondeterministic order; float addition is not associative",
+	Run: func(pass *Pass) {
+		inspectMapRanges(pass, func(rs *ast.RangeStmt) {
+			checkMapRangeBody(pass, rs, true)
+		})
+	},
+}
+
+// inspectMapRanges invokes visit for every range statement over a map.
+func inspectMapRanges(pass *Pass, visit func(*ast.RangeStmt)) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if isMapType(pass.TypeOf(rs.X)) {
+				visit(rs)
+			}
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody walks one map-range body. With wantFloat it reports
+// float/complex accumulation (floatacc); otherwise appends, output writes,
+// and integer/string accumulation (maporder). Diagnostics anchor at the
+// range's `for` keyword so one //lint:ignore above the loop covers the
+// whole body. Nested map ranges are skipped: they report on their own.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt, wantFloat bool) {
+	lo, hi := rs.Pos(), rs.End()
+	report := func(pos token.Pos, desc string) {
+		line := pass.Fset.Position(pos).Line
+		if wantFloat {
+			pass.Reportf(rs.For, "%s (line %d) inside map iteration: float addition is not associative, so the sum depends on nondeterministic map order; iterate sorted keys", desc, line)
+			return
+		}
+		pass.Reportf(rs.For, "%s (line %d) depends on nondeterministic map iteration order; iterate sorted keys instead", desc, line)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rs && isMapType(pass.TypeOf(inner.X)) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, n, lo, hi, wantFloat, report)
+		case *ast.CallExpr:
+			if !wantFloat {
+				checkOutputCall(pass, n, lo, hi, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign classifies one assignment inside a map-range body.
+func checkAssign(pass *Pass, as *ast.AssignStmt, lo, hi token.Pos, wantFloat bool, report func(token.Pos, string)) {
+	// Compound accumulation: x += v, x *= v, ...
+	if accumTokens[as.Tok] && len(as.Lhs) == 1 {
+		if declaredOutside(pass, as.Lhs[0], lo, hi) {
+			reportAccum(pass, as.Lhs[0], as.Pos(), as.Tok.String(), wantFloat, report)
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN {
+		return // := declares per-iteration variables; nothing escapes
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		lhs := as.Lhs[i]
+		// x = append(x, ...) growing a slice declared outside the loop.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+			if !wantFloat && declaredOutside(pass, lhs, lo, hi) {
+				report(as.Pos(), fmt.Sprintf("append to %s", types.ExprString(lhs)))
+			}
+			continue
+		}
+		// Spelled-out accumulation: x = x + v (or -, *, /).
+		if bin, ok := rhs.(*ast.BinaryExpr); ok && declaredOutside(pass, lhs, lo, hi) {
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				continue
+			}
+			ls := types.ExprString(lhs)
+			if types.ExprString(bin.X) == ls || types.ExprString(bin.Y) == ls {
+				reportAccum(pass, lhs, as.Pos(), "= "+ls+" "+bin.Op.String(), wantFloat, report)
+			}
+		}
+	}
+}
+
+// reportAccum reports an accumulation if its element type matches the
+// analyzer's class: float/complex for floatacc, integer/string for maporder.
+func reportAccum(pass *Pass, lhs ast.Expr, pos token.Pos, op string, wantFloat bool, report func(token.Pos, string)) {
+	info := basicInfo(pass, lhs)
+	isFloat := info&(types.IsFloat|types.IsComplex) != 0
+	isOrdered := info&(types.IsInteger|types.IsString) != 0
+	if wantFloat && isFloat {
+		report(pos, fmt.Sprintf("accumulation %s %s", types.ExprString(lhs), op))
+	}
+	if !wantFloat && isOrdered {
+		report(pos, fmt.Sprintf("accumulation %s %s", types.ExprString(lhs), op))
+	}
+}
+
+// checkOutputCall reports calls that emit output from inside a map range:
+// fmt.Print/Fprint families and Write* methods on sinks declared outside
+// the loop.
+func checkOutputCall(pass *Pass, call *ast.CallExpr, lo, hi token.Pos, report func(token.Pos, string)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn := calleeFunc(pass, sel); fn != nil {
+		if fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			report(call.Pos(), fmt.Sprintf("output via fmt.%s", fn.Name()))
+		}
+		return
+	}
+	// Method call: a Write* sink that outlives the loop.
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || !writeMethods[fn.Name()] {
+		return
+	}
+	if declaredOutside(pass, sel.X, lo, hi) {
+		report(call.Pos(), fmt.Sprintf("write to %s via %s", types.ExprString(sel.X), fn.Name()))
+	}
+}

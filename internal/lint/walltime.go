@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallFuncs are the package time functions that read or wait on the wall
+// clock. Types and constants (time.Duration, time.Millisecond) stay legal:
+// virtual time is denominated in time.Duration throughout the simulator.
+var wallFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Walltime flags every use of the wall clock. Simulation and serving paths
+// run on virtual time (seeded service-time models, not the host clock), so
+// any time.Now/Since/Sleep reachable from them makes runs irreproducible
+// and couples figures to host load. Deliberate wall-clock use — progress
+// timers in CLIs — must carry a //lint:ignore walltime justification.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock time (time.Now/Since/Sleep/...) is forbidden; simulation and serving use virtual time",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, sel)
+				if fn == nil || fn.Pkg().Path() != "time" || !wallFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; use virtual time (or justify with //lint:ignore walltime <reason>)", fn.Name())
+				return true
+			})
+		}
+	},
+}

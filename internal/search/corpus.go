@@ -124,6 +124,7 @@ func buildPostings(c *Corpus) [][]posting {
 		for _, t := range doc {
 			tfs[t]++
 		}
+		//lint:ignore maporder each lists[t] gains one posting per document and documents are visited in id order, so every list stays doc-sorted regardless of term order (panic-checked below)
 		for t, tf := range tfs {
 			lists[t] = append(lists[t], posting{doc: uint32(d), tf: tf})
 		}
