@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race ci
+.PHONY: all build vet lint test race ci obs-demo
 
 all: build
 
@@ -20,5 +20,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# obs-demo exercises the observability stack end to end: the fleetprof
+# experiment at fast scale with distributed-trace and metrics-registry
+# exports (DESIGN.md §9). Both files are deterministic for a fixed seed.
+obs-demo:
+	$(GO) run ./cmd/searchsim -fast -trace fleetprof-trace.json -metrics fleetprof-metrics.json fleetprof
 
 ci: build lint test race

@@ -17,6 +17,8 @@ import (
 	"searchmem/internal/cache"
 	"searchmem/internal/cpu"
 	"searchmem/internal/experiments"
+	"searchmem/internal/obs"
+	"searchmem/internal/serving"
 	"searchmem/internal/stats"
 	"searchmem/internal/trace"
 	"searchmem/internal/workload"
@@ -277,6 +279,56 @@ func BenchmarkAblationL4LookupOverlap(b *testing.B) {
 	}
 	b.ReportMetric(parallel, "AMAT-parallel-ns")
 	b.ReportMetric(serial, "AMAT-serial-ns")
+}
+
+// --- serving tree and observability benchmarks ---
+
+// benchCluster builds the serving tree the observability benchmarks drive:
+// synthetic leaves, no fault injection, so per-query work is uniform.
+func benchCluster(tracer *obs.Tracer) *serving.Cluster {
+	cfg := serving.DefaultConfig()
+	cfg.Leaves = 16
+	cfg.Fanout = 4
+	cfg.Name = "bench"
+	cfg.Tracer = tracer
+	// No cache-server tier: every iteration takes the full fan-out path.
+	cfg.CacheSlots = 0
+	return serving.NewCluster(cfg, nil)
+}
+
+// BenchmarkServingTree measures end-to-end query latency through the serving
+// tree (frontend, cache probe, root fan-out, parents, leaves, merge) with
+// tracing disabled.
+func BenchmarkServingTree(b *testing.B) {
+	c := benchCluster(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Serve(serving.Query{Terms: []uint32{uint32(i) % 1024, uint32(i) % 4096}})
+	}
+}
+
+// BenchmarkTraceOverhead quantifies what per-query tracing costs. The
+// "disabled" case is the zero-value path every untraced cluster takes (one
+// nil check per query); "enabled" records and drains a full span tree per
+// query.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		c := benchCluster(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Serve(serving.Query{Terms: []uint32{uint32(i) % 1024, uint32(i) % 4096}})
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tracer := obs.NewTracer()
+		c := benchCluster(tracer)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Serve(serving.Query{Terms: []uint32{uint32(i) % 1024, uint32(i) % 4096}})
+			// Drain so the tracer's buffer stays bounded across iterations.
+			tracer.Take()
+		}
+	})
 }
 
 // branchStream materializes a reusable branch trace from the leaf workload.

@@ -52,6 +52,37 @@ func (r registry) lookupBad(k string) []int {
 	return r.m[k] // want `lookupBad returns r\.m\[k\], a slice aliasing r state`
 }
 
+// Snapshot-struct escapes (the obs registry/snapshot pattern): a composite
+// literal returned by value still aliases internal state through its fields.
+
+type snapshot struct {
+	order  []uint64
+	series map[string][]int
+}
+
+type inner struct{ order []uint64 }
+type nested struct{ in inner }
+
+func (c *cache) snapshotBad() snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return snapshot{order: c.order} // want `snapshotBad returns a composite literal carrying c\.order, a slice aliasing c state`
+}
+
+func (r registry) snapshotPtrBad() *snapshot {
+	return &snapshot{series: r.m} // want `snapshotPtrBad returns a composite literal carrying r\.m, a map aliasing r state`
+}
+
+func (c *cache) snapshotNestedBad() nested {
+	return nested{in: inner{order: c.order}} // want `snapshotNestedBad returns a composite literal carrying c\.order, a slice aliasing c state`
+}
+
+func (c *cache) snapshotGood() snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return snapshot{order: append([]uint64(nil), c.order...)}
+}
+
 // Fixed forms: defensive copies break the alias on both paths.
 
 func (c *cache) getGood(tag uint64) []uint32 {

@@ -6,15 +6,25 @@
 //	searchsim -list
 //	searchsim [-fast] [-budget N] [-threads N] [-seed N] [-v] all
 //	searchsim [-fast] table1 fig6b fig14 ...
+//	searchsim [-fast] -trace trace.json -metrics metrics.json fleetprof degraded
+//
+// -trace exports every span recorded during the run (serving-tree queries,
+// profiler sampling windows) as Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto. -metrics exports the unified metrics
+// registry as JSON and prints a per-stage serving latency summary after the
+// experiments. Both exports are deterministic: the same seed produces
+// byte-identical files.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"searchmem/internal/experiments"
+	"searchmem/internal/obs"
 )
 
 func main() {
@@ -26,6 +36,9 @@ func main() {
 		shrink  = flag.Int("shrink", 0, "override workload shrink factor")
 		seed    = flag.Uint64("seed", 1, "input-stream seed")
 		verbose = flag.Bool("v", false, "progress output")
+
+		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of recorded spans to this file")
+		metricsOut = flag.String("metrics", "", "write metrics-registry snapshot JSON to this file and print serving stage summaries")
 	)
 	flag.Parse()
 
@@ -62,6 +75,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", a...)
 		}
 	}
+	if *traceOut != "" {
+		opts.Tracer = obs.NewTracer()
+	}
+	if *metricsOut != "" {
+		opts.Metrics = obs.NewRegistry()
+	}
 	ctx := experiments.NewContext(opts)
 
 	var selected []experiments.Experiment
@@ -93,4 +112,81 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# %s took %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		printServingStages(snap)
+		if err := writeMetrics(*metricsOut, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if opts.Tracer != nil {
+		traces := opts.Tracer.Take()
+		if err := writeTrace(*traceOut, traces); err != nil {
+			fmt.Fprintf(os.Stderr, "writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d traces to %s\n", len(traces), *traceOut)
+	}
+}
+
+// printServingStages summarizes the per-stage serving-latency histograms the
+// experiment clusters (slo, degraded) reported into the shared registry.
+func printServingStages(snap obs.Snapshot) {
+	var rows []obs.HistSnap
+	for _, h := range snap.Histograms {
+		if h.Name == "serving_stage_latency_ns" && h.Count > 0 {
+			rows = append(rows, h)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	label := func(h obs.HistSnap, key string) string {
+		for _, l := range h.Labels {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	fmt.Println("=== serving stage latency (from -metrics registry)")
+	fmt.Printf("%-18s %-12s %9s %10s %10s %10s\n", "cluster", "stage", "count", "mean ms", "p95 ms", "p99 ms")
+	for _, h := range rows {
+		fmt.Printf("%-18s %-12s %9d %10.3f %10.3f %10.3f\n",
+			label(h, "cluster"), label(h, "stage"), h.Count, h.Mean/1e6, h.P95/1e6, h.P99/1e6)
+	}
+	fmt.Println()
+}
+
+// writeMetrics writes the snapshot JSON to path.
+func writeMetrics(path string, snap obs.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the Chrome trace-event JSON to path.
+func writeTrace(path string, traces []obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := obs.WriteChromeTrace(w, traces); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }

@@ -35,14 +35,18 @@ type PredictorStats struct {
 	Predictions, Mispredicts int64
 }
 
-// Observe processes one branch.
-func (s *PredictorStats) Observe(b Branch) {
+// Observe processes one branch and reports whether it mispredicted, so
+// per-branch observers (the obs sampling profiler) can attribute outcomes
+// without a second prediction pass.
+func (s *PredictorStats) Observe(b Branch) bool {
 	pred := s.P.Predict(b.PC)
-	if pred != b.Taken {
+	mispredict := pred != b.Taken
+	if mispredict {
 		s.Mispredicts++
 	}
 	s.Predictions++
 	s.P.Update(b.PC, b.Taken)
+	return mispredict
 }
 
 // MPKI returns mispredictions per kilo-instruction.

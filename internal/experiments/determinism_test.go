@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"searchmem/internal/obs"
 )
 
 // TestSameSeedByteIdenticalOutput is the end-to-end property the searchlint
@@ -52,4 +54,55 @@ func TestSameSeedByteIdenticalOutput(t *testing.T) {
 		}
 	}
 	t.Fatalf("same-seed runs diverge in length: %d vs %d lines", len(a), len(b))
+}
+
+// TestSameSeedByteIdenticalExports extends the determinism contract to the
+// observability exports (DESIGN.md §9): two same-seed fleetprof runs with a
+// tracer and metrics registry attached must render the same table AND write
+// byte-identical Chrome-trace JSON and metrics-snapshot JSON — the exact
+// files cmd/searchsim -trace/-metrics produces.
+func TestSameSeedByteIdenticalExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleetprof measurement is slow in -short mode")
+	}
+	run := func() (render, traceJSON, metricsJSON string) {
+		opts := Fast()
+		opts.Seed = 42
+		opts.Tracer = obs.NewTracer()
+		opts.Metrics = obs.NewRegistry()
+		ctx := NewContext(opts)
+		e, ok := ByID("fleetprof")
+		if !ok {
+			t.Fatal("fleetprof not registered")
+		}
+		res, err := e.Run(ctx)
+		if err != nil {
+			t.Fatalf("fleetprof: %v", err)
+		}
+		var tb, mb strings.Builder
+		if err := obs.WriteChromeTrace(&tb, opts.Tracer.Take()); err != nil {
+			t.Fatalf("trace export: %v", err)
+		}
+		if err := opts.Metrics.Snapshot().WriteJSON(&mb); err != nil {
+			t.Fatalf("metrics export: %v", err)
+		}
+		return res.Render(), tb.String(), mb.String()
+	}
+	r1, t1, m1 := run()
+	r2, t2, m2 := run()
+	if r1 != r2 {
+		t.Error("same-seed fleetprof runs rendered different tables")
+	}
+	if t1 != t2 {
+		t.Error("same-seed fleetprof runs exported different Chrome-trace JSON")
+	}
+	if m1 != m2 {
+		t.Error("same-seed fleetprof runs exported different metrics JSON")
+	}
+	if !strings.Contains(t1, `"name":"access-stream"`) {
+		t.Error("trace export missing profiler access-stream spans")
+	}
+	if !strings.Contains(m1, "fleetprof_topdown_err_pp") {
+		t.Error("metrics export missing fleetprof gauges")
+	}
 }

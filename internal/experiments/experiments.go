@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"searchmem/internal/det"
+	"searchmem/internal/obs"
 	"searchmem/internal/platform"
 	"searchmem/internal/workload"
 )
@@ -30,6 +31,13 @@ type Options struct {
 	Seed uint64
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
+	// Tracer, when non-nil, collects distributed traces from experiments
+	// that drive the serving tree or the sampling profiler (exported via
+	// cmd/searchsim -trace).
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is the shared registry experiment clusters
+	// report into (exported via cmd/searchsim -metrics).
+	Metrics *obs.Registry
 }
 
 // Fast returns options for quick runs (unit tests).

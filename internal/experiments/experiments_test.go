@@ -19,7 +19,8 @@ func TestRegistryComplete(t *testing.T) {
 		"explore",                       // §IV extension: design-space search
 		"splitl2",                       // §V extension: split I/D L2 what-if
 		"missclass", "bandwidth", "slo", // §II-§IV extensions
-		"degraded", // §II extension: fault-tolerant serving tier
+		"degraded",  // §II extension: fault-tolerant serving tier
+		"fleetprof", // §II methodology: GWP-style sampled profiling
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

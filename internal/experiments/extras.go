@@ -115,15 +115,17 @@ func runSLO(c *Context) (Result, error) {
 	ipcBase := pm.ipcAt(45<<20, 0, 0, 0)
 	ipcRebal := pm.ipcAt(23<<20, 0, 0, 0)
 
-	run := func(nsPerInstrScale float64, seed uint64) serving.LoadStats {
+	run := func(name string, nsPerInstrScale float64, seed uint64) serving.LoadStats {
 		cfg := serving.DefaultConfig()
 		cfg.Leaves = 16
 		cfg.LeafCapacity = 32
+		cfg.Name = "slo/" + name
+		cfg.Registry = c.Opts.Metrics
 		cl := serving.NewCluster(cfg, scaledExecutors(16, nsPerInstrScale))
 		return serving.RunLoad(cl, 8, 250, 3000, 0.9, seed)
 	}
-	base := run(1/ipcBase, 7)
-	rebal := run(1/ipcRebal, 7)
+	base := run("base", 1/ipcBase, 7)
+	rebal := run("rebal", 1/ipcRebal, 7)
 
 	t := &Table{
 		Title:   "Per-query latency: baseline vs rebalanced (23-core) design",
@@ -147,22 +149,37 @@ func runSLO(c *Context) (Result, error) {
 // and hedged retries bounding the tail. Per-stage metrics come from the
 // cluster's registry.
 func runDegraded(c *Context) (Result, error) {
-	run := func(faulty bool) (serving.LoadStats, serving.Metrics) {
+	degradedConfig := func(name string) serving.Config {
 		cfg := serving.DefaultConfig()
 		cfg.Leaves = 16
 		cfg.LeafDeadlineNS = 8e6
 		cfg.HedgeDelayNS = 4e6
+		cfg.Name = "degraded/" + name
+		cfg.Registry = c.Opts.Metrics
+		return cfg
+	}
+	faultyExecutors := func(cfg serving.Config) []serving.Executor {
+		var execs []serving.Executor
+		for i := 0; i < cfg.Leaves; i++ {
+			execs = append(execs, &serving.FaultyExecutor{
+				Inner:    serving.NewSyntheticExecutor(uint32(i), cfg.TopK),
+				SlowProb: 0.10, SlowFactor: 8,
+				FailProb: 0.02,
+				FlapProb: 0.01,
+				Seed:     c.Opts.Seed + uint64(i)*7919,
+			})
+		}
+		return execs
+	}
+	run := func(faulty bool) (serving.LoadStats, serving.Metrics) {
+		name := "healthy"
+		if faulty {
+			name = "faulty"
+		}
+		cfg := degradedConfig(name)
 		var execs []serving.Executor
 		if faulty {
-			for i := 0; i < cfg.Leaves; i++ {
-				execs = append(execs, &serving.FaultyExecutor{
-					Inner:    serving.NewSyntheticExecutor(uint32(i), cfg.TopK),
-					SlowProb: 0.10, SlowFactor: 8,
-					FailProb: 0.02,
-					FlapProb: 0.01,
-					Seed:     c.Opts.Seed + uint64(i)*7919,
-				})
-			}
+			execs = faultyExecutors(cfg)
 		}
 		cl := serving.NewCluster(cfg, execs)
 		st := serving.RunLoad(cl, 8, 250, 3000, 0.9, c.Opts.Seed+47)
@@ -170,6 +187,19 @@ func runDegraded(c *Context) (Result, error) {
 	}
 	healthy, hm := run(false)
 	faulty, fm := run(true)
+
+	// Traced showcase: a fresh faulty cluster served single-threaded, so
+	// span timestamps and trace IDs are deterministic (the concurrent load
+	// above draws shared service-jitter RNGs in scheduling order, which
+	// per-query traces must not inherit).
+	if c.Opts.Tracer != nil {
+		cfg := degradedConfig("traced")
+		cfg.Tracer = c.Opts.Tracer
+		cl := serving.NewCluster(cfg, faultyExecutors(cfg))
+		for q := uint32(0); q < 3; q++ {
+			cl.Serve(serving.Query{Terms: []uint32{q*19 + 1, q*53 + 2}})
+		}
+	}
 
 	t := &Table{
 		Title:   "Serving tree with 8 ms leaf deadline + 4 ms hedging (16 leaves)",

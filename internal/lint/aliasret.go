@@ -234,6 +234,36 @@ func checkMethodAliasing(pass *Pass, fd *ast.FuncDecl, recvObj types.Object, why
 				if internal(res) && isSliceOrMap(pass.TypeOf(res)) {
 					pass.Reportf(n.Pos(), "%s.%s returns %s, a %s aliasing %s state (%s); return a copy (append([]T(nil), ...))",
 						typeName, fd.Name.Name, types.ExprString(res), typeKind(pass.TypeOf(res)), recvName, why)
+					continue
+				}
+				// Snapshot-struct escapes: returning a composite literal
+				// (or &literal) whose fields carry internal slices/maps
+				// aliases state just as directly as returning them bare.
+				lit, ok := res.(*ast.CompositeLit)
+				if !ok {
+					if ue, isAddr := res.(*ast.UnaryExpr); isAddr && ue.Op == token.AND {
+						lit, ok = ue.X.(*ast.CompositeLit)
+					}
+				}
+				if ok {
+					var visit func(l *ast.CompositeLit)
+					visit = func(l *ast.CompositeLit) {
+						for _, elt := range l.Elts {
+							val := elt
+							if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+								val = kv.Value
+							}
+							if nested, isLit := val.(*ast.CompositeLit); isLit {
+								visit(nested)
+								continue
+							}
+							if internal(val) && isSliceOrMap(pass.TypeOf(val)) {
+								pass.Reportf(n.Pos(), "%s.%s returns a composite literal carrying %s, a %s aliasing %s state (%s); copy it first (append([]T(nil), ...))",
+									typeName, fd.Name.Name, types.ExprString(val), typeKind(pass.TypeOf(val)), recvName, why)
+							}
+						}
+					}
+					visit(lit)
 				}
 			}
 		}

@@ -1,0 +1,220 @@
+// Package obs is the reproduction's observability subsystem: per-query
+// distributed tracing over the serving tree, a unified metrics registry,
+// and a GWP-style sampling profiler that reconstructs fleet-wide workload
+// profiles from sparse observations of the simulated leaf execution.
+//
+// The paper's entire characterization (§II, Table I, Figure 3) was produced
+// by always-on fleet profiling infrastructure (Google-Wide Profiling), not
+// by exhaustive measurement; this package is the reproduction's analogue.
+// Everything here follows the repository's determinism contract (DESIGN.md
+// §9): time is virtual, randomness is seeded stats.RNG, snapshots and
+// exports are keyed and ordered deterministically, and the same seed
+// produces byte-identical export files.
+//
+// Tracing model: a Trace is one logical request (a query through the
+// serving tree) holding a flat list of Spans with parent links. Spans carry
+// virtual-time timestamps relative to the trace start, so a trace is a
+// self-contained latency waterfall independent of when it was recorded.
+// Spans are appended by a single-goroutine TraceBuilder — concurrent
+// serving code first resolves its outcome deterministically (leaf order),
+// then reconstructs the span tree — which keeps span identity and order
+// independent of goroutine scheduling.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Attr is one span annotation. Values are strings so exports need no
+// type-dependent encoding; use the constructors for deterministic
+// formatting of other types.
+type Attr struct {
+	Key, Value string
+}
+
+// String returns a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Bool returns a boolean attribute ("true"/"false").
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: strconv.FormatBool(v)} }
+
+// Int returns an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: strconv.FormatInt(v, 10)} }
+
+// Float returns a float attribute in shortest round-trip form, which is
+// deterministic for identical values.
+func Float(key string, v float64) Attr {
+	return Attr{Key: key, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// Span is one timed operation inside a trace. StartNS and EndNS are
+// virtual-time nanoseconds relative to the trace start.
+type Span struct {
+	// ID identifies the span within its trace (1-based, assigned in
+	// creation order). Parent is the enclosing span's ID, 0 for roots.
+	ID, Parent uint64
+	// Name identifies the operation ("frontend", "leaf[3]/primary", ...).
+	Name string
+	// StartNS and EndNS bound the span in virtual time.
+	StartNS, EndNS float64
+	// Attrs are the span's annotations, sorted by key.
+	Attrs []Attr
+}
+
+// DurationNS returns the span's virtual duration.
+func (s Span) DurationNS() float64 { return s.EndNS - s.StartNS }
+
+// Attr returns the value of the named annotation, or "".
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Trace is one recorded request: an ID, a name, and its spans in creation
+// order (parents before children).
+type Trace struct {
+	// ID orders traces within a Tracer (1-based, assigned at Begin).
+	ID uint64
+	// Name labels the trace ("query", "fleetprof[r=0.1]", ...).
+	Name string
+	// Spans are the trace's spans in creation order.
+	Spans []Span
+}
+
+// Tracer collects traces from concurrent producers. A nil *Tracer is a
+// valid disabled tracer: Enabled reports false and Begin returns a nil
+// builder, so instrumented code pays one nil check on the disabled path.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID uint64
+	traces []Trace
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Enabled reports whether spans are being collected (nil-safe).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Begin starts a new trace and returns its builder. Trace IDs are assigned
+// in Begin order: deterministic for single-driver runs, arrival-ordered
+// under concurrent load (see the determinism contract). A nil tracer
+// returns a nil builder, on which every method is a no-op.
+func (t *Tracer) Begin(name string) *TraceBuilder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &TraceBuilder{tracer: t, trace: Trace{ID: id, Name: name}}
+}
+
+// Traces returns the finished traces ordered by ID. The outer structures
+// are copied defensively; span Attrs are shared read-only.
+func (t *Tracer) Traces() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return copyTraces(t.traces)
+}
+
+// Take returns the finished traces ordered by ID and clears the tracer,
+// bounding memory for long-running collection loops.
+func (t *Tracer) Take() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := copyTraces(t.traces)
+	t.traces = nil
+	return out
+}
+
+// SpanCount returns the total spans across finished traces.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.traces {
+		n += len(t.traces[i].Spans)
+	}
+	return n
+}
+
+// copyTraces deep-copies the trace list (span slices included) so callers
+// can never mutate tracer state, and sorts by ID: Finish order can differ
+// from Begin order under concurrency, and exports must not inherit that.
+func copyTraces(in []Trace) []Trace {
+	out := make([]Trace, len(in))
+	for i, tr := range in {
+		tr.Spans = append([]Span(nil), tr.Spans...)
+		out[i] = tr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TraceBuilder accumulates one trace's spans. It is single-goroutine by
+// design: concurrent code resolves outcomes first (in deterministic
+// structural order) and then replays them through the builder.
+type TraceBuilder struct {
+	tracer *Tracer
+	trace  Trace
+}
+
+// TraceID returns the trace's ID (0 on a nil builder).
+func (b *TraceBuilder) TraceID() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trace.ID
+}
+
+// Span appends a span under parent (0 for a root span) and returns its ID
+// for use as a later span's parent. Attrs are sorted by key so span
+// equality and export bytes are independent of call-site argument order.
+// A nil builder returns 0.
+func (b *TraceBuilder) Span(parent uint64, name string, startNS, endNS float64, attrs ...Attr) uint64 {
+	if b == nil {
+		return 0
+	}
+	if endNS < startNS {
+		panic(fmt.Sprintf("obs: span %q ends (%g) before it starts (%g)", name, endNS, startNS))
+	}
+	sorted := append([]Attr(nil), attrs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	id := uint64(len(b.trace.Spans)) + 1
+	b.trace.Spans = append(b.trace.Spans, Span{
+		ID: id, Parent: parent, Name: name,
+		StartNS: startNS, EndNS: endNS, Attrs: sorted,
+	})
+	return id
+}
+
+// Finish hands the completed trace to the tracer. The builder must not be
+// used afterwards. A nil builder is a no-op.
+func (b *TraceBuilder) Finish() {
+	if b == nil {
+		return
+	}
+	t := b.tracer
+	t.mu.Lock()
+	t.traces = append(t.traces, b.trace)
+	t.mu.Unlock()
+	b.tracer = nil
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	b := tr.Begin("query")
+	if b != nil {
+		t.Fatal("nil tracer returned a non-nil builder")
+	}
+	if got := b.Span(0, "frontend", 0, 10); got != 0 {
+		t.Fatalf("nil builder Span returned %d, want 0", got)
+	}
+	if got := b.TraceID(); got != 0 {
+		t.Fatalf("nil builder TraceID returned %d, want 0", got)
+	}
+	b.Finish() // must not panic
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer Traces returned %v", got)
+	}
+	if got := tr.Take(); got != nil {
+		t.Fatalf("nil tracer Take returned %v", got)
+	}
+	if got := tr.SpanCount(); got != 0 {
+		t.Fatalf("nil tracer SpanCount returned %d", got)
+	}
+}
+
+func TestTraceBuilderAssignsIDsAndSortsAttrs(t *testing.T) {
+	tr := NewTracer()
+	b := tr.Begin("query")
+	if b.TraceID() != 1 {
+		t.Fatalf("first trace ID = %d, want 1", b.TraceID())
+	}
+	root := b.Span(0, "root", 0, 100, String("zeta", "z"), Int("alpha", 7))
+	child := b.Span(root, "child", 10, 20, Bool("partial", true))
+	if root != 1 || child != 2 {
+		t.Fatalf("span IDs = %d, %d, want 1, 2", root, child)
+	}
+	b.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	wantAttrs := []Attr{{Key: "alpha", Value: "7"}, {Key: "zeta", Value: "z"}}
+	if !reflect.DeepEqual(spans[0].Attrs, wantAttrs) {
+		t.Fatalf("attrs not sorted by key: %v", spans[0].Attrs)
+	}
+	if spans[1].Parent != root {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, root)
+	}
+	if got := spans[1].Attr("partial"); got != "true" {
+		t.Fatalf("Attr(partial) = %q, want true", got)
+	}
+	if got := spans[1].Attr("missing"); got != "" {
+		t.Fatalf("Attr(missing) = %q, want empty", got)
+	}
+	if got := spans[0].DurationNS(); got != 100 {
+		t.Fatalf("DurationNS = %g, want 100", got)
+	}
+	if got := tr.SpanCount(); got != 2 {
+		t.Fatalf("SpanCount = %d, want 2", got)
+	}
+}
+
+func TestSpanPanicsOnNegativeDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Span with end before start did not panic")
+		}
+	}()
+	NewTracer().Begin("bad").Span(0, "inverted", 10, 5)
+}
+
+func TestTracesAreSortedByIDAndCopied(t *testing.T) {
+	tr := NewTracer()
+	b1 := tr.Begin("first")
+	b2 := tr.Begin("second")
+	b2.Span(0, "s", 0, 1)
+	b2.Finish() // finish out of Begin order
+	b1.Span(0, "s", 0, 1)
+	b1.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 2 || traces[0].ID != 1 || traces[1].ID != 2 {
+		t.Fatalf("traces not sorted by ID: %+v", traces)
+	}
+
+	// Mutating the returned structures must not reach tracer state.
+	traces[0].Spans[0].Name = "clobbered"
+	traces[0].Name = "clobbered"
+	again := tr.Traces()
+	if again[0].Spans[0].Name != "s" || again[0].Name != "first" {
+		t.Fatal("Traces aliases internal state")
+	}
+}
+
+func TestTakeClearsTracer(t *testing.T) {
+	tr := NewTracer()
+	b := tr.Begin("query")
+	b.Span(0, "s", 0, 1)
+	b.Finish()
+
+	got := tr.Take()
+	if len(got) != 1 {
+		t.Fatalf("Take returned %d traces, want 1", len(got))
+	}
+	if rest := tr.Traces(); len(rest) != 0 {
+		t.Fatalf("tracer holds %d traces after Take, want 0", len(rest))
+	}
+	// IDs keep increasing after Take so trace identity never repeats.
+	if b2 := tr.Begin("next"); b2.TraceID() != 2 {
+		t.Fatalf("trace ID after Take = %d, want 2", b2.TraceID())
+	}
+}
+
+func TestAttrConstructors(t *testing.T) {
+	cases := []struct {
+		got  Attr
+		want Attr
+	}{
+		{String("k", "v"), Attr{Key: "k", Value: "v"}},
+		{Bool("k", false), Attr{Key: "k", Value: "false"}},
+		{Int("k", -42), Attr{Key: "k", Value: "-42"}},
+		{Float("k", 0.1), Attr{Key: "k", Value: "0.1"}},
+		{Float("k", 2.5e6), Attr{Key: "k", Value: "2.5e+06"}},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %+v, want %+v", c.got, c.want)
+		}
+	}
+}

@@ -2,9 +2,8 @@ package serving
 
 import (
 	"fmt"
-	"sync"
 
-	"searchmem/internal/stats"
+	"searchmem/internal/obs"
 )
 
 // StageMetrics is a point-in-time summary of one serving-pipeline stage.
@@ -51,33 +50,9 @@ func (m Metrics) Stages() []StageMetrics {
 	return []StageMetrics{m.Frontend, m.CacheProbe, m.LeafService, m.Merge}
 }
 
-// stageAcc accumulates one stage (counter + latency histogram).
-type stageAcc struct {
-	count int64
-	hist  *stats.Histogram
-}
-
-func newStageAcc() stageAcc { return stageAcc{hist: stats.NewHistogram(8)} }
-
-func (s *stageAcc) observe(ns float64) {
-	s.count++
-	s.hist.Add(ns)
-}
-
-func (s *stageAcc) snapshot(name string) StageMetrics {
-	return StageMetrics{
-		Name:   name,
-		Count:  s.count,
-		MeanNS: s.hist.Mean(),
-		P50NS:  s.hist.Quantile(0.50),
-		P95NS:  s.hist.Quantile(0.95),
-		P99NS:  s.hist.Quantile(0.99),
-	}
-}
-
 // mergeEvents carries a query's fault-tolerance event counts and leaf
-// attempt latencies from the fan-out to the registry so the registry lock
-// is taken once per query.
+// attempt latencies from the fan-out to the instruments so shared state is
+// touched once per query.
 type mergeEvents struct {
 	hedges, hedgeWins  int64
 	failures, timeouts int64
@@ -108,74 +83,99 @@ func (e *mergeEvents) add(o mergeEvents) {
 	e.attemptLatenciesNS = append(e.attemptLatenciesNS, o.attemptLatenciesNS...)
 }
 
-// metricsRegistry is the cluster's concurrent-safe metrics store.
-type metricsRegistry struct {
-	mu                 sync.Mutex
-	frontend, probe    stageAcc
-	leafSvc, merge     stageAcc
-	queries, cacheHits int64
-	hedges, hedgeWins  int64
-	failures, timeouts int64
-	partials           int64
+// clusterMetrics holds the cluster's instrument handles in the unified
+// obs.Registry (counters are atomic, histograms carry their own locks, so
+// there is no registry-wide lock on the serve path). Series are labeled
+// with the cluster name so several clusters — the degraded experiment's
+// healthy/faulty pair, the SLO experiment's base/rebalanced pair — can
+// share one registry and one export file.
+type clusterMetrics struct {
+	queries, cacheHits *obs.Counter
+	hedges, hedgeWins  *obs.Counter
+	failures, timeouts *obs.Counter
+	partials           *obs.Counter
+	frontend, probe    *obs.Histogram
+	leafSvc, merge     *obs.Histogram
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	return &metricsRegistry{
-		frontend: newStageAcc(),
-		probe:    newStageAcc(),
-		leafSvc:  newStageAcc(),
-		merge:    newStageAcc(),
+func newClusterMetrics(reg *obs.Registry, cluster string) *clusterMetrics {
+	lbl := obs.L("cluster", cluster)
+	counter := func(name string) *obs.Counter {
+		return reg.Counter("serving_"+name+"_total", lbl)
+	}
+	stage := func(name string) *obs.Histogram {
+		return reg.Histogram("serving_stage_latency_ns", lbl, obs.L("stage", name))
+	}
+	return &clusterMetrics{
+		queries:   counter("queries"),
+		cacheHits: counter("cache_hits"),
+		hedges:    counter("hedges_issued"),
+		hedgeWins: counter("hedge_wins"),
+		failures:  counter("leaf_failures"),
+		timeouts:  counter("leaf_timeouts"),
+		partials:  counter("partial_results"),
+		frontend:  stage("frontend"),
+		probe:     stage("cache-probe"),
+		leafSvc:   stage("leaf-service"),
+		merge:     stage("merge"),
 	}
 }
 
 // recordCacheHit logs a query short-circuited by the cache tier.
-func (m *metricsRegistry) recordCacheHit(frontendNS, probeNS float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.queries++
-	m.cacheHits++
-	m.frontend.observe(frontendNS)
-	m.probe.observe(probeNS)
+func (m *clusterMetrics) recordCacheHit(frontendNS, probeNS float64) {
+	m.queries.Inc()
+	m.cacheHits.Inc()
+	m.frontend.Observe(frontendNS)
+	m.probe.Observe(probeNS)
 }
 
 // recordServe logs a full tree traversal.
-func (m *metricsRegistry) recordServe(frontendNS float64, probed bool, probeNS, mergeNS float64, ev mergeEvents, partial bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.queries++
-	m.frontend.observe(frontendNS)
+func (m *clusterMetrics) recordServe(frontendNS float64, probed bool, probeNS, mergeNS float64, ev mergeEvents, partial bool) {
+	m.queries.Inc()
+	m.frontend.Observe(frontendNS)
 	if probed {
-		m.probe.observe(probeNS)
+		m.probe.Observe(probeNS)
 	}
 	for _, lat := range ev.attemptLatenciesNS {
-		m.leafSvc.observe(lat)
+		m.leafSvc.Observe(lat)
 	}
-	m.merge.observe(mergeNS)
-	m.hedges += ev.hedges
-	m.hedgeWins += ev.hedgeWins
-	m.failures += ev.failures
-	m.timeouts += ev.timeouts
+	m.merge.Observe(mergeNS)
+	m.hedges.Add(ev.hedges)
+	m.hedgeWins.Add(ev.hedgeWins)
+	m.failures.Add(ev.failures)
+	m.timeouts.Add(ev.timeouts)
 	if partial {
-		m.partials++
+		m.partials.Inc()
 	}
 }
 
-// Metrics returns a snapshot of the per-stage metrics registry.
+// stage reduces one histogram instrument to a StageMetrics summary.
+func stage(h *obs.Histogram, name string) StageMetrics {
+	return StageMetrics{
+		Name:   name,
+		Count:  h.Count(),
+		MeanNS: h.Mean(),
+		P50NS:  h.Quantile(0.50),
+		P95NS:  h.Quantile(0.95),
+		P99NS:  h.Quantile(0.99),
+	}
+}
+
+// Metrics returns a snapshot of the cluster's per-stage metrics. The same
+// series are exportable as JSON through the registry (Cluster.Registry).
 func (c *Cluster) Metrics() Metrics {
 	m := c.metrics
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return Metrics{
-		Frontend:       m.frontend.snapshot("frontend"),
-		CacheProbe:     m.probe.snapshot("cache-probe"),
-		LeafService:    m.leafSvc.snapshot("leaf-service"),
-		Merge:          m.merge.snapshot("merge"),
-		Queries:        m.queries,
-		CacheHits:      m.cacheHits,
-		HedgesIssued:   m.hedges,
-		HedgeWins:      m.hedgeWins,
-		LeafFailures:   m.failures,
-		LeafTimeouts:   m.timeouts,
-		PartialResults: m.partials,
+		Frontend:       stage(m.frontend, "frontend"),
+		CacheProbe:     stage(m.probe, "cache-probe"),
+		LeafService:    stage(m.leafSvc, "leaf-service"),
+		Merge:          stage(m.merge, "merge"),
+		Queries:        m.queries.Value(),
+		CacheHits:      m.cacheHits.Value(),
+		HedgesIssued:   m.hedges.Value(),
+		HedgeWins:      m.hedgeWins.Value(),
+		LeafFailures:   m.failures.Value(),
+		LeafTimeouts:   m.timeouts.Value(),
+		PartialResults: m.partials.Value(),
 	}
 }

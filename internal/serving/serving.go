@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"searchmem/internal/obs"
 	"searchmem/internal/search"
 	"searchmem/internal/stats"
 )
@@ -183,6 +184,18 @@ type Config struct {
 	// in the same parent; a leaf failure detected earlier triggers the
 	// retry immediately. 0 disables hedging.
 	HedgeDelayNS float64
+	// Name labels the cluster's metric series ("cluster" when empty), so
+	// several clusters can share one registry without colliding.
+	Name string
+	// Registry receives the cluster's metrics; nil gets a private registry
+	// (Cluster.Metrics works either way).
+	Registry *obs.Registry
+	// Tracer, when non-nil, records one distributed trace per served query.
+	// The span tree is reconstructed from the deterministic fan-out
+	// outcomes after the concurrent phase resolves, so span identity and
+	// timestamps are scheduling-independent; trace IDs follow Serve order
+	// (deterministic for single-driver runs).
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns a small but fully structured tree. Deadlines and
@@ -233,7 +246,8 @@ type Cluster struct {
 	cfg     Config
 	parents []*parent
 	cache   *cacheServer
-	metrics *metricsRegistry
+	metrics *clusterMetrics
+	reg     *obs.Registry
 
 	mu sync.Mutex
 	// Queries and CacheHits count served requests.
@@ -247,7 +261,15 @@ func NewCluster(cfg Config, executors []Executor) *Cluster {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cluster{cfg: cfg, metrics: newMetricsRegistry()}
+	name := cfg.Name
+	if name == "" {
+		name = "cluster"
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	c := &Cluster{cfg: cfg, metrics: newClusterMetrics(reg, name), reg: reg}
 	if cfg.CacheSlots > 0 {
 		c.cache = newCacheServer(cfg.CacheSlots)
 	}
@@ -271,6 +293,10 @@ func NewCluster(cfg Config, executors []Executor) *Cluster {
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// Registry returns the metrics registry the cluster reports into (the one
+// from Config.Registry, or the private one created in its absence).
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
 // leafOutcome is one leaf call's contribution as seen by its parent.
 type leafOutcome struct {
 	docs   []uint32
@@ -292,6 +318,13 @@ type leafOutcome struct {
 	hedged, hedgeWon   bool
 	failed, timedOut   bool
 	attemptLatenciesNS []float64
+	// Trace-reconstruction timeline (virtual time from fan-out start):
+	// the primary shard and its arrival, and — when hedged — the retry's
+	// issue and arrival times plus the sibling shard it went to.
+	primaryLeaf                   int
+	primaryArrivalNS              float64
+	hedgeIssuedNS, hedgeArrivalNS float64
+	hedgeLeaf                     int
 }
 
 // attempt is one executor call's raw outcome.
@@ -362,12 +395,19 @@ func (c *Cluster) fanOutLeaves(p *parent, terms []uint32, congestion float64) []
 		arrival := prim[li].lat * congestion
 		ok := prim[li].err == nil
 		out.failed = !ok
+		out.primaryArrivalNS = arrival
+		out.hedgeIssuedNS = -1
+
+		out.primaryLeaf = p.leaves[li].id
 
 		if hedgeAt[li] >= 0 {
 			h := hedges[li]
 			out.attemptLatenciesNS = append(out.attemptLatenciesNS, h.lat)
 			out.hedged = true
 			hArrival := hedgeAt[li] + h.lat*congestion
+			out.hedgeIssuedNS = hedgeAt[li]
+			out.hedgeArrivalNS = hArrival
+			out.hedgeLeaf = p.leaves[(li+1)%n].id
 			if h.err == nil && (!ok || hArrival < arrival) {
 				docs, scores, arrival, ok = h.docs, h.scores, hArrival, true
 				out.srcLeaf = p.leaves[(li+1)%n].id
@@ -418,6 +458,9 @@ func (c *Cluster) Serve(q Query) Result {
 		c.mu.Unlock()
 	}()
 
+	tb := c.cfg.Tracer.Begin("query")
+	traced := tb != nil
+
 	lat := c.cfg.FrontendOverheadNS
 	tag := cacheTag(q.Terms)
 	probed := false
@@ -428,7 +471,11 @@ func (c *Cluster) Serve(q Query) Result {
 			c.CacheHits++
 			c.mu.Unlock()
 			c.metrics.recordCacheHit(c.cfg.FrontendOverheadNS, c.cfg.NetworkHopNS)
-			return Result{Docs: docs, Scores: scores, FromCache: true, LatencyNS: lat + c.cfg.NetworkHopNS}
+			res := Result{Docs: docs, Scores: scores, FromCache: true, LatencyNS: lat + c.cfg.NetworkHopNS}
+			if traced {
+				c.emitCacheHitTrace(tb, res)
+			}
+			return res
 		}
 		lat += c.cfg.NetworkHopNS // cache miss probe
 	}
@@ -436,15 +483,7 @@ func (c *Cluster) Serve(q Query) Result {
 
 	// Root fans out to parents, parents to leaves; parallel hops cost the
 	// slowest child, parents give up on a leaf at the deadline.
-	type branch struct {
-		docs     []uint32
-		scores   []float32
-		lat      float64
-		partial  bool
-		answered int
-		events   mergeEvents
-	}
-	results := make([]branch, len(c.parents))
+	results := make([]branchResult, len(c.parents))
 	var wg sync.WaitGroup
 	for pi, p := range c.parents {
 		wg.Add(1)
@@ -465,7 +504,10 @@ func (c *Cluster) Serve(q Query) Result {
 				}
 			}
 			tk := search.NewTopK(c.cfg.TopK)
-			b := branch{}
+			b := branchResult{}
+			if traced {
+				b.outs = outs
+			}
 			var wait float64
 			for _, o := range outs {
 				if o.waitNS > wait {
@@ -522,7 +564,90 @@ func (c *Cluster) Serve(q Query) Result {
 	}
 	c.metrics.recordServe(c.cfg.FrontendOverheadNS, probed, c.cfg.NetworkHopNS,
 		worst+2*c.cfg.NetworkHopNS, events, partial)
-	return Result{Docs: docs, Scores: scores, LatencyNS: lat, Partial: partial, LeavesAnswered: answered}
+	res := Result{Docs: docs, Scores: scores, LatencyNS: lat, Partial: partial, LeavesAnswered: answered}
+	if traced {
+		c.emitServeTrace(tb, probed, congestion, results, res)
+	}
+	return res
+}
+
+// branchResult is one parent subtree's contribution to the root merge.
+type branchResult struct {
+	docs     []uint32
+	scores   []float32
+	lat      float64
+	partial  bool
+	answered int
+	events   mergeEvents
+	// outs is retained only when tracing, to reconstruct leaf spans.
+	outs []leafOutcome
+}
+
+// emitCacheHitTrace records the two-span trace of a cache-served query.
+func (c *Cluster) emitCacheHitTrace(tb *obs.TraceBuilder, res Result) {
+	fe := c.cfg.FrontendOverheadNS
+	root := tb.Span(0, "query", 0, res.LatencyNS,
+		obs.Bool("from_cache", true), obs.Bool("partial", false))
+	tb.Span(root, "frontend", 0, fe)
+	tb.Span(root, "cache-probe", fe, fe+c.cfg.NetworkHopNS, obs.Bool("hit", true))
+	tb.Finish()
+}
+
+// emitServeTrace reconstructs a full tree traversal's span tree from the
+// resolved fan-out outcomes. The virtual timeline mirrors the latency
+// model exactly: frontend, optional cache probe, root preprocessing, one
+// hop down to each parent, one hop down to each leaf, congested leaf
+// service, and the return hops; the root merge itself is free in the
+// model, so its span is an instant marking where the result assembled.
+// Because outcomes are resolved deterministically before any span exists,
+// the emitted tree is identical no matter how the fan-out goroutines were
+// scheduled.
+func (c *Cluster) emitServeTrace(tb *obs.TraceBuilder, probed bool, congestion float64, branches []branchResult, res Result) {
+	hop := c.cfg.NetworkHopNS
+	fe := c.cfg.FrontendOverheadNS
+	root := tb.Span(0, "query", 0, res.LatencyNS,
+		obs.Bool("from_cache", false),
+		obs.Bool("partial", res.Partial),
+		obs.Int("leaves_answered", int64(res.LeavesAnswered)),
+		obs.Float("congestion", congestion))
+	tb.Span(root, "frontend", 0, fe)
+	rootStart := fe
+	if probed {
+		tb.Span(root, "cache-probe", fe, fe+hop, obs.Bool("hit", false))
+		rootStart += hop
+	}
+	fanStart := rootStart + c.cfg.RootOverheadNS
+	tb.Span(root, "root", rootStart, fanStart)
+	fan := tb.Span(root, "fanout", fanStart, res.LatencyNS,
+		obs.Int("parents", int64(len(branches))))
+	for pi := range branches {
+		b := &branches[pi]
+		pStart := fanStart + hop
+		ps := tb.Span(fan, fmt.Sprintf("parent[%d]", pi), pStart, pStart+b.lat,
+			obs.Int("leaves", int64(len(b.outs))),
+			obs.Int("answered", int64(b.answered)),
+			obs.Bool("partial", b.partial))
+		leafStart := pStart + hop
+		for li := range b.outs {
+			o := &b.outs[li]
+			tb.Span(ps, fmt.Sprintf("leaf[%d]/primary", o.primaryLeaf),
+				leafStart, leafStart+o.primaryArrivalNS,
+				obs.Int("shard", int64(o.primaryLeaf)),
+				obs.Bool("failed", o.failed),
+				obs.Bool("timed_out", o.timedOut),
+				obs.Bool("answered", o.answered && !o.hedgeWon))
+			if o.hedged {
+				tb.Span(ps, fmt.Sprintf("leaf[%d]/hedge", o.primaryLeaf),
+					leafStart+o.hedgeIssuedNS, leafStart+o.hedgeArrivalNS,
+					obs.Int("shard", int64(o.hedgeLeaf)),
+					obs.Bool("won", o.hedgeWon))
+			}
+		}
+	}
+	tb.Span(fan, "merge", res.LatencyNS, res.LatencyNS,
+		obs.Int("results", int64(len(res.Docs))),
+		obs.Bool("partial", res.Partial))
+	tb.Finish()
 }
 
 // CacheHitRate returns the fraction of queries served by the cache tier.

@@ -1,0 +1,158 @@
+package serving
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"searchmem/internal/obs"
+)
+
+// tracedCluster wires a small faulty cluster with tracing and a shared
+// registry, sized so deadlines and hedges actually fire.
+func tracedCluster(tracer *obs.Tracer, reg *obs.Registry) *Cluster {
+	cfg := DefaultConfig()
+	cfg.Leaves, cfg.Fanout = 8, 4
+	cfg.LeafDeadlineNS = 8e6
+	cfg.HedgeDelayNS = 3e6
+	cfg.Name = "traced"
+	cfg.Tracer = tracer
+	cfg.Registry = reg
+	execs := make([]Executor, cfg.Leaves)
+	for i := range execs {
+		execs[i] = &FaultyExecutor{
+			Inner:      NewSyntheticExecutor(uint32(i), cfg.TopK),
+			SlowProb:   0.2,
+			SlowFactor: 6,
+			FailProb:   0.1,
+			Seed:       uint64(i) * 7919,
+		}
+	}
+	return NewCluster(cfg, execs)
+}
+
+func serveTracedQueries(t *testing.T) ([]obs.Trace, []Result) {
+	t.Helper()
+	tracer := obs.NewTracer()
+	c := tracedCluster(tracer, obs.NewRegistry())
+	var results []Result
+	for q := 0; q < 6; q++ {
+		terms := []uint32{uint32(q) * 17, uint32(q)*31 + 2}
+		results = append(results, c.Serve(Query{Terms: terms}))
+	}
+	// Re-serve the first query: it was cached (unless partial), so the
+	// trace set also covers the cache-hit path.
+	results = append(results, c.Serve(Query{Terms: []uint32{0, 2}}))
+	return tracer.Traces(), results
+}
+
+func TestServeTraceMatchesLatencyModel(t *testing.T) {
+	traces, results := serveTracedQueries(t)
+	if len(traces) != len(results) {
+		t.Fatalf("%d traces for %d queries", len(traces), len(results))
+	}
+	sawHedge, sawCacheHit := false, false
+	for i, tr := range traces {
+		if tr.Name != "query" || len(tr.Spans) == 0 {
+			t.Fatalf("trace %d malformed: %+v", i, tr)
+		}
+		root := tr.Spans[0]
+		if root.Parent != 0 || root.Name != "query" {
+			t.Fatalf("trace %d: first span is %q (parent %d), want root query", i, root.Name, root.Parent)
+		}
+		// The root span covers the query's exact modeled latency.
+		if root.StartNS != 0 || root.EndNS != results[i].LatencyNS {
+			t.Errorf("trace %d: root span [%g, %g], result latency %g",
+				i, root.StartNS, root.EndNS, results[i].LatencyNS)
+		}
+		if got := root.Attr("partial"); got != strconv.FormatBool(results[i].Partial) {
+			t.Errorf("trace %d: partial attr %q, result %v", i, got, results[i].Partial)
+		}
+		if results[i].FromCache {
+			sawCacheHit = true
+			if root.Attr("from_cache") != "true" || len(tr.Spans) != 3 {
+				t.Errorf("trace %d: cache hit trace has %d spans: %+v", i, len(tr.Spans), tr.Spans)
+			}
+			continue
+		}
+		// Full traversal: every span nests inside its parent's window and
+		// parent links point at already-created spans.
+		byID := map[uint64]obs.Span{}
+		leaves, hedges := 0, 0
+		for _, sp := range tr.Spans {
+			byID[sp.ID] = sp
+			if sp.Parent != 0 {
+				p, ok := byID[sp.Parent]
+				if !ok {
+					t.Fatalf("trace %d: span %q references unseen parent %d", i, sp.Name, sp.Parent)
+				}
+				if sp.StartNS < p.StartNS {
+					t.Errorf("trace %d: span %q starts before parent %q", i, sp.Name, p.Name)
+				}
+			}
+			switch {
+			case len(sp.Name) > 5 && sp.Name[:5] == "leaf[" && sp.Name[len(sp.Name)-8:] == "/primary":
+				leaves++
+			case len(sp.Name) > 5 && sp.Name[:5] == "leaf[" && sp.Name[len(sp.Name)-6:] == "/hedge":
+				hedges++
+				sawHedge = true
+			}
+		}
+		if leaves != 8 {
+			t.Errorf("trace %d: %d primary leaf spans, want 8", i, leaves)
+		}
+		_ = hedges
+	}
+	if !sawHedge {
+		t.Error("no hedge spans across traced queries; fault injection should trigger hedging")
+	}
+	if !sawCacheHit {
+		t.Error("no cache-hit trace recorded")
+	}
+}
+
+func TestServeTraceDeterministic(t *testing.T) {
+	a, _ := serveTracedQueries(t)
+	b, _ := serveTracedQueries(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed single-driver runs produced different traces")
+	}
+}
+
+func TestServeUntracedRecordsNothing(t *testing.T) {
+	c := tracedCluster(nil, nil)
+	c.Serve(Query{Terms: []uint32{1, 2}})
+	// Config.Tracer was nil: tracing is fully disabled, and the private
+	// registry still captures metrics.
+	if got := c.Metrics().Queries; got != 1 {
+		t.Fatalf("metrics queries = %d, want 1", got)
+	}
+}
+
+func TestSharedRegistryLabelsClusters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c1 := tracedCluster(nil, reg)
+	cfg := DefaultConfig()
+	cfg.Name = "other"
+	cfg.Registry = reg
+	c2 := NewCluster(cfg, nil)
+	c1.Serve(Query{Terms: []uint32{1}})
+	c2.Serve(Query{Terms: []uint32{1}})
+	c2.Serve(Query{Terms: []uint32{2}})
+
+	snap := reg.Snapshot()
+	byCluster := map[string]int64{}
+	for _, cs := range snap.Counters {
+		if cs.Name != "serving_queries_total" {
+			continue
+		}
+		for _, l := range cs.Labels {
+			if l.Key == "cluster" {
+				byCluster[l.Value] = cs.Value
+			}
+		}
+	}
+	if byCluster["traced"] != 1 || byCluster["other"] != 2 {
+		t.Fatalf("per-cluster query counters = %v, want traced=1 other=2", byCluster)
+	}
+}

@@ -46,6 +46,13 @@ type MeasureConfig struct {
 	Prefetchers func() []cpu.Prefetcher
 	// WarmupFraction scales the warmup budget (default 0.25).
 	WarmupFraction float64
+	// AccessObserver, when non-nil, sees every measured-phase access along
+	// with the hierarchy level that served it (warmup is not observed, to
+	// match the statistics reset). The obs sampling profiler attaches here.
+	AccessObserver func(a trace.Access, lvl cache.HitLevel)
+	// BranchObserver, when non-nil, sees every measured-phase branch and
+	// whether it mispredicted.
+	BranchObserver func(thread uint8, mispredict bool)
 }
 
 // Metrics is the measured outcome, aligned with Table I's rows and the
@@ -128,16 +135,24 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 		preds[i] = &cpu.PredictorStats{P: cpu.NewGshare(mc.PredictorBits)}
 	}
 	coreFor := func(t uint8) int { return int(t) / mc.SMTWays % mc.Cores }
+	measuring := false // observers only see the post-warmup phase
 	sinks := Sinks{
 		Access: func(a trace.Access) {
+			var lvl cache.HitLevel
 			if engine != nil {
-				engine.Access(a)
-				return
+				lvl = engine.Access(a)
+			} else {
+				lvl = h.Access(a)
 			}
-			h.Access(a)
+			if measuring && mc.AccessObserver != nil {
+				mc.AccessObserver(a, lvl)
+			}
 		},
 		Branch: func(t uint8, pc uint64, taken bool) {
-			preds[coreFor(t)].Observe(cpu.Branch{PC: pc, Taken: taken})
+			mis := preds[coreFor(t)].Observe(cpu.Branch{PC: pc, Taken: taken})
+			if measuring && mc.BranchObserver != nil {
+				mc.BranchObserver(t, mis)
+			}
 		},
 	}
 
@@ -150,6 +165,7 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 			preds[i].Predictions, preds[i].Mispredicts = 0, 0
 		}
 	}
+	measuring = true
 	run := r.Run(mc.Threads, mc.Budget, mc.Seed, sinks)
 
 	return reduce(r, mc, h, preds, run, l4Hit, l4Pen)
