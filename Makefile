@@ -1,6 +1,9 @@
 GO ?= go
+# Extra flags for `make bench` (CI passes BENCHARGS=-short to emit the
+# artifact at fast scale).
+BENCHARGS ?=
 
-.PHONY: all build vet lint test race ci obs-demo
+.PHONY: all build vet lint test race ci obs-demo bench
 
 all: build
 
@@ -26,5 +29,11 @@ race:
 # exports (DESIGN.md §9). Both files are deterministic for a fixed seed.
 obs-demo:
 	$(GO) run ./cmd/searchsim -fast -trace fleetprof-trace.json -metrics fleetprof-metrics.json fleetprof
+
+# bench runs the sweep-engine before/after benchmarks (serial vs parallel,
+# DESIGN.md §10) and publishes them as BENCH_sweep.json via cmd/benchjson.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x -timeout 45m $(BENCHARGS) . | tee bench_sweep.out
+	$(GO) run ./cmd/benchjson -o BENCH_sweep.json bench_sweep.out
 
 ci: build lint test race

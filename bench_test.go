@@ -29,11 +29,15 @@ var (
 	benchCtx     *experiments.Context
 )
 
-// benchContext returns the shared full-scale experiment context.
+// benchContext returns the shared full-scale experiment context (-short
+// drops to Fast scale so CI can emit the sweep artifact cheaply).
 func benchContext(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchCtxOnce.Do(func() {
 		opts := experiments.Full()
+		if testing.Short() {
+			opts = experiments.Fast()
+		}
 		benchCtx = experiments.NewContext(opts)
 	})
 	return benchCtx
@@ -80,6 +84,47 @@ func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+
+// --- sweep-engine before/after benchmarks (DESIGN.md §10) ---
+
+// benchSweep measures one capacity-sweep experiment under the serial and
+// parallel engines. A warm run first populates the shared workload builds
+// and trace recordings, then each iteration gets a Sharing context (fresh
+// derived-curve caches, shared recordings), so the serial/parallel ratio
+// isolates the sweep fan-out rather than one-time recording cost. Both
+// modes render byte-identical output (TestSameSeedByteIdenticalOutput).
+func benchSweep(b *testing.B, id string) {
+	base := benchContext(b)
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	if _, err := e.Run(base.Sharing(base.Opts)); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{
+		{"serial", false},
+		{"parallel", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := base.Opts
+			opts.Parallel = mode.parallel
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(base.Sharing(opts)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSweepFig6b(b *testing.B) { benchSweep(b, "fig6b") }
+func BenchmarkSweepFig9(b *testing.B)  { benchSweep(b, "fig9") }
+func BenchmarkSweepFig13(b *testing.B) { benchSweep(b, "fig13") }
 
 // --- substrate microbenchmarks ---
 

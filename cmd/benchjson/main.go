@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// summary, so CI can publish benchmark artifacts (make bench writes
+// BENCH_sweep.json) without external tooling. Only the standard library is
+// used and nothing here consults wall-clock time or randomness: the same
+// input produces byte-identical JSON.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkSweep' . | benchjson -o BENCH_sweep.json
+//	benchjson -o BENCH_sweep.json bench_sweep.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. Metrics maps unit suffixes
+// ("ns/op", "B/op", custom ReportMetric units) to values; encoding/json
+// serializes map keys sorted, keeping the output deterministic.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// parseBenchLine parses one `go test -bench` result line of the form
+//
+//	BenchmarkName-8   	     100	  12345 ns/op	  64 B/op	   2 allocs/op
+//
+// returning ok=false for non-benchmark lines (headers, PASS, ok ...).
+func parseBenchLine(line string) (benchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	it, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: f[0], Iterations: it, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[f[i+1]] = v
+	}
+	return r, true
+}
+
+// parse reads benchmark output and returns the parsed results in input
+// order.
+func parse(r io.Reader) ([]benchResult, error) {
+	var out []benchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseBenchLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if args := flag.Args(); len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output-file]")
+		os.Exit(2)
+	}
+
+	results, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []benchResult{} // render [] rather than null
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+
+	if *outPath == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

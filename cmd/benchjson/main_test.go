@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSweepFig6b/parallel-8   \t       2\t 617283940 ns/op\t  128 B/op\t       3 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkSweepFig6b/parallel-8" || r.Iterations != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 617283940 || r.Metrics["B/op"] != 128 || r.Metrics["allocs/op"] != 3 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+
+	// Custom ReportMetric units survive.
+	r, ok = parseBenchLine("BenchmarkAblationReplacementLRU-4  10  99 ns/op  0.8312 L3-hit-rate")
+	if !ok || r.Metrics["L3-hit-rate"] != 0.8312 {
+		t.Fatalf("custom metric: ok=%v %+v", ok, r.Metrics)
+	}
+
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tsearchmem\t12.3s",
+		"BenchmarkBroken notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q misparsed as a benchmark", line)
+		}
+	}
+}
+
+func TestParseStream(t *testing.T) {
+	in := "goos: linux\n" +
+		"BenchmarkSweepFig13/serial-4 \t 1\t 5000000 ns/op\n" +
+		"BenchmarkSweepFig13/parallel-4 \t 1\t 2000000 ns/op\n" +
+		"PASS\n"
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Name != "BenchmarkSweepFig13/serial-4" || res[1].Metrics["ns/op"] != 2000000 {
+		t.Fatalf("parsed %+v", res)
+	}
+}

@@ -29,13 +29,14 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		fast    = flag.Bool("fast", false, "run at reduced scale (quick, uncalibrated)")
-		budget  = flag.Int64("budget", 0, "override measured instruction budget per configuration")
-		threads = flag.Int("threads", 0, "override trace thread count")
-		shrink  = flag.Int("shrink", 0, "override workload shrink factor")
-		seed    = flag.Uint64("seed", 1, "input-stream seed")
-		verbose = flag.Bool("v", false, "progress output")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		fast     = flag.Bool("fast", false, "run at reduced scale (quick, uncalibrated)")
+		budget   = flag.Int64("budget", 0, "override measured instruction budget per configuration")
+		threads  = flag.Int("threads", 0, "override trace thread count")
+		shrink   = flag.Int("shrink", 0, "override workload shrink factor")
+		seed     = flag.Uint64("seed", 1, "input-stream seed")
+		parallel = flag.Bool("parallel", true, "fan sweep points across CPUs (output is byte-identical to -parallel=false)")
+		verbose  = flag.Bool("v", false, "progress output")
 
 		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of recorded spans to this file")
 		metricsOut = flag.String("metrics", "", "write metrics-registry snapshot JSON to this file and print serving stage summaries")
@@ -70,6 +71,7 @@ func main() {
 		opts.Shrink = *shrink
 	}
 	opts.Seed = *seed
+	opts.Parallel = *parallel
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", a...)

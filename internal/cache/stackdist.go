@@ -23,6 +23,7 @@ type StackDist struct {
 	blockShift uint
 	time       uint64
 	last       map[uint64]uint64 // block -> last access time
+	stride     int64             // sampling stride of the observed stream (1 = exhaustive)
 
 	tree ostree
 
@@ -38,12 +39,26 @@ func NewStackDist(blockSize int) *StackDist {
 	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
 		panic("cache: stack distance block size must be a positive power of two")
 	}
-	s := &StackDist{last: make(map[uint64]uint64)}
+	s := &StackDist{last: make(map[uint64]uint64), stride: 1}
 	for bs := blockSize; bs > 1; bs >>= 1 {
 		s.blockShift++
 	}
 	s.tree.init()
 	return s
+}
+
+// SetStride declares that the observed stream was systematically thinned to
+// every nth access (trace.Sample with the same n), so count-derived metrics
+// (Accesses, Hits, Misses, ColdMisses and the MPKIs built on them) are
+// rescaled by the stride and stay comparable against per-instruction
+// denominators from the *exhaustive* run. Ratios (HitRate, CombinedHitRate)
+// are unaffected. Footprint is NOT rescaled — sampling genuinely observes
+// fewer distinct blocks. n < 1 resets to exhaustive.
+func (s *StackDist) SetStride(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.stride = int64(n)
 }
 
 // Observe records one access (block-aligned; spans count each block).
@@ -94,13 +109,14 @@ func (s *StackDist) Drain(st trace.Stream) {
 	}
 }
 
-// Accesses returns the number of block probes observed for seg.
+// Accesses returns the number of block probes observed for seg, rescaled by
+// the sampling stride (SetStride) to estimate the exhaustive count.
 func (s *StackDist) Accesses(seg trace.Segment) int64 {
 	t := s.cold[seg]
 	for _, c := range s.counts[seg] {
 		t += c
 	}
-	return t
+	return t * s.stride
 }
 
 // TotalAccesses returns block probes across all segments.
@@ -112,9 +128,9 @@ func (s *StackDist) TotalAccesses() int64 {
 	return t
 }
 
-// ColdMisses returns first-touch accesses for seg: these miss in a cache of
-// any capacity.
-func (s *StackDist) ColdMisses(seg trace.Segment) int64 { return s.cold[seg] }
+// ColdMisses returns first-touch accesses for seg (stride-rescaled): these
+// miss in a cache of any capacity.
+func (s *StackDist) ColdMisses(seg trace.Segment) int64 { return s.cold[seg] * s.stride }
 
 // Hits returns how many of seg's accesses would hit in a fully-associative
 // LRU cache of capBytes capacity. Exact for power-of-two capacities (in
@@ -135,7 +151,7 @@ func (s *StackDist) Hits(seg trace.Segment, capBytes int64) float64 {
 	if frac > 0 && whole+1 < len(s.counts[seg]) {
 		hits += frac * float64(s.counts[seg][whole+1])
 	}
-	return hits
+	return hits * float64(s.stride)
 }
 
 // HitRate returns seg's hit rate at capBytes, or 0 with no accesses.

@@ -10,7 +10,8 @@ import (
 
 // TestSameSeedByteIdenticalOutput is the end-to-end property the searchlint
 // analyzers exist to protect: two experiment runs with the same seed must
-// render byte-identical tables — the exact stream cmd/searchsim prints.
+// render byte-identical tables — the exact stream cmd/searchsim prints —
+// whether the sweep engine runs serial or parallel (DESIGN.md §10).
 // Each run uses a fresh Context so nothing is shared but the seed.
 func TestSameSeedByteIdenticalOutput(t *testing.T) {
 	// A cross-section of the pipeline: measured workload characterization
@@ -21,9 +22,10 @@ func TestSameSeedByteIdenticalOutput(t *testing.T) {
 		ids = []string{"table1", "fig13"}
 	}
 
-	render := func() string {
+	render := func(parallel bool) string {
 		opts := Fast()
 		opts.Seed = 42
+		opts.Parallel = parallel
 		ctx := NewContext(opts)
 		var b strings.Builder
 		for _, id := range ids {
@@ -41,19 +43,23 @@ func TestSameSeedByteIdenticalOutput(t *testing.T) {
 		return b.String()
 	}
 
-	first := render()
-	second := render()
-	if first == second {
-		return
-	}
-	// Pinpoint the first divergence for the report.
-	a, b := strings.Split(first, "\n"), strings.Split(second, "\n")
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			t.Fatalf("same-seed runs diverge at line %d:\n run1: %q\n run2: %q", i+1, a[i], b[i])
+	serial := render(false)
+	for _, r := range []struct{ name, got string }{
+		{"parallel", render(true)},
+		{"parallel repeat", render(true)},
+	} {
+		if r.got == serial {
+			continue
 		}
+		// Pinpoint the first divergence for the report.
+		a, b := strings.Split(serial, "\n"), strings.Split(r.got, "\n")
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("%s run diverges from serial at line %d:\n serial: %q\n %s: %q", r.name, i+1, a[i], r.name, b[i])
+			}
+		}
+		t.Fatalf("%s run diverges from serial in length: %d vs %d lines", r.name, len(a), len(b))
 	}
-	t.Fatalf("same-seed runs diverge in length: %d vs %d lines", len(a), len(b))
 }
 
 // TestSameSeedByteIdenticalExports extends the determinism contract to the

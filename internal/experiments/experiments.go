@@ -29,6 +29,10 @@ type Options struct {
 	Threads int
 	// Seed varies the input streams.
 	Seed uint64
+	// Parallel fans sweep points across worker goroutines (see parallel.go).
+	// Rendered output is byte-identical to a serial run; only wall-clock and
+	// the interleaving of Logf progress lines change.
+	Parallel bool
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
 	// Tracer, when non-nil, collects distributed traces from experiments
@@ -42,12 +46,12 @@ type Options struct {
 
 // Fast returns options for quick runs (unit tests).
 func Fast() Options {
-	return Options{Shrink: 8, Budget: 800_000, Threads: 4, Seed: 1}
+	return Options{Shrink: 8, Budget: 800_000, Threads: 4, Seed: 1, Parallel: true}
 }
 
 // Full returns options at calibrated scale (benchmarks, cmd/searchsim).
 func Full() Options {
-	return Options{Shrink: 1, Budget: 6_000_000, Threads: 16, Seed: 1}
+	return Options{Shrink: 1, Budget: 6_000_000, Threads: 16, Seed: 1, Parallel: true}
 }
 
 // logf logs progress when a logger is attached.
@@ -110,11 +114,27 @@ func IDs() []string {
 type Context struct {
 	Opts Options
 
-	mu      sync.Mutex
-	runners map[string]*workload.SearchRunner
+	rc *runnerCache
 
 	curveMu sync.Mutex
-	curves  map[int]any
+	curves  map[curveKey]any
+}
+
+// runnerCache memoizes built workloads, each wrapped in a recording Replayer
+// so sweep points can re-run the same (threads, budget, seed) key without
+// re-executing the stateful workload. The cache can be shared across
+// Contexts via Sharing.
+type runnerCache struct {
+	mu sync.Mutex
+	m  map[string]*workload.Replayer
+}
+
+// curveKey identifies one memoized derived profile (hit curve, perf model,
+// segment stack-distance profile, L4 sweep, ...). kind namespaces the entry;
+// arg carries the per-kind parameter (thread count, associativity, ...).
+type curveKey struct {
+	kind string
+	arg  int64
 }
 
 // NewContext returns a context with the given options.
@@ -129,32 +149,47 @@ func NewContext(opts Options) *Context {
 		opts.Threads = 16
 	}
 	return &Context{
-		Opts:    opts,
-		runners: make(map[string]*workload.SearchRunner),
-		curves:  make(map[int]any),
+		Opts:   opts,
+		rc:     &runnerCache{m: make(map[string]*workload.Replayer)},
+		curves: make(map[curveKey]any),
 	}
 }
 
-// runner builds (or returns the cached) runner for a search profile.
-func (c *Context) runner(key string, build func() workload.SearchWorkload) *workload.SearchRunner {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if r, ok := c.runners[key]; ok {
+// Sharing returns a fresh Context that shares this context's built workloads
+// and their memoized recordings but keeps independent derived-curve caches.
+// The two contexts may run experiments concurrently (the shared cache is
+// race-clean), with one caveat: opts should agree with the parent's
+// Shrink/Budget/Threads/Seed, and byte-identical output is only guaranteed
+// per-context when the contexts do not interleave *new* recordings — already
+// recorded keys replay identically from any number of contexts.
+func (c *Context) Sharing(opts Options) *Context {
+	nc := NewContext(opts)
+	nc.rc = c.rc
+	return nc
+}
+
+// runner builds (or returns the cached) replay-wrapped runner for a search
+// profile.
+func (c *Context) runner(key string, build func() workload.SearchWorkload) *workload.Replayer {
+	c.rc.mu.Lock()
+	defer c.rc.mu.Unlock()
+	if r, ok := c.rc.m[key]; ok {
 		return r
 	}
 	c.Opts.logf("building workload %s (shrink %d)...", key, c.Opts.Shrink)
-	r := build().Build()
-	c.runners[key] = r
+	r := workload.NewReplayer(build().Build())
+	c.rc.m[key] = r
 	return r
 }
 
-// Leaf returns the cached S1-leaf micro runner.
-func (c *Context) Leaf() *workload.SearchRunner {
+// Leaf returns the cached S1-leaf micro runner (replay-wrapped: repeated
+// measurements with the same key replay one recording).
+func (c *Context) Leaf() *workload.Replayer {
 	return c.runner("s1-leaf", func() workload.SearchWorkload { return workload.S1Leaf(c.Opts.Shrink) })
 }
 
-// Sweep returns the cached S1-leaf capacity-sweep runner.
-func (c *Context) Sweep() *workload.SearchRunner {
+// Sweep returns the cached S1-leaf capacity-sweep runner (replay-wrapped).
+func (c *Context) Sweep() *workload.Replayer {
 	return c.runner("s1-leaf-sweep", func() workload.SearchWorkload { return workload.S1LeafSweep(c.Opts.Shrink) })
 }
 
@@ -232,6 +267,9 @@ type Figure struct {
 	XLabel, YLabel string
 	Series         []Series
 	Note           string
+	// XFormat, when non-nil, renders x-axis values (e.g. byte counts via
+	// mib); trimFloat otherwise.
+	XFormat func(x float64) string
 }
 
 // Add appends a point to the named series, creating it on first use.
@@ -272,8 +310,12 @@ func (f *Figure) Render() string {
 	for _, s := range f.Series {
 		t.Headers = append(t.Headers, s.Name)
 	}
+	xfmt := f.XFormat
+	if xfmt == nil {
+		xfmt = trimFloat
+	}
 	for _, x := range sorted {
-		row := []string{trimFloat(x)}
+		row := []string{xfmt(x)}
 		for _, s := range f.Series {
 			cell := ""
 			for i := range s.X {
@@ -303,5 +345,19 @@ func trimFloat(v float64) string {
 // pct formats a fraction as a percentage string.
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
-// mib formats a byte count in MiB.
-func mib(b int64) string { return fmt.Sprintf("%d", b>>20) }
+// mib formats a byte count with an adaptive binary unit. The old
+// fixed-MiB rendering (b>>20) truncated every sub-MiB value — block sizes,
+// small partitions — to "0"; picking the unit by magnitude keeps those
+// legible without changing how MiB-scale capacities read.
+func mib(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%d B", b)
+	case b < 1<<20:
+		return trimFloat(float64(b)/(1<<10)) + " KiB"
+	case b < 1<<30:
+		return trimFloat(float64(b)/(1<<20)) + " MiB"
+	default:
+		return trimFloat(float64(b)/(1<<30)) + " GiB"
+	}
+}

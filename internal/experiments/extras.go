@@ -188,10 +188,9 @@ func runDegraded(c *Context) (Result, error) {
 	healthy, hm := run(false)
 	faulty, fm := run(true)
 
-	// Traced showcase: a fresh faulty cluster served single-threaded, so
-	// span timestamps and trace IDs are deterministic (the concurrent load
-	// above draws shared service-jitter RNGs in scheduling order, which
-	// per-query traces must not inherit).
+	// Traced showcase: a fresh faulty cluster served three fixed queries,
+	// so span timestamps and trace IDs are independent of the load mix
+	// above.
 	if c.Opts.Tracer != nil {
 		cfg := degradedConfig("traced")
 		cfg.Tracer = c.Opts.Tracer

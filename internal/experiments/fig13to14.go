@@ -41,12 +41,21 @@ type l4Point struct {
 }
 
 // sweepL4 simulates the direct-mapped victim L4 at each capacity behind a
-// 23 MiB-paper L3 (the rebalanced design of §IV-B).
+// 23 MiB-paper L3 (the rebalanced design of §IV-B). The sweep fans out
+// across workers (every point replays the same recording) and the result is
+// memoized per associativity, so Figures 13 and 14 share one simulation.
 func sweepL4(c *Context, assoc int) []l4Point {
+	c.curveMu.Lock()
+	defer c.curveMu.Unlock()
+	key := curveKey{kind: "l4sweep", arg: int64(assoc)}
+	if cached, ok := c.curves[key]; ok {
+		return cached.([]l4Point)
+	}
 	o := c.Opts
-	var out []l4Point
-	for _, mb := range fig13Capacities {
-		m := workload.Measure(c.Sweep(), workload.MeasureConfig{
+	sweep := c.Sweep()
+	out := runPoints(c, 0, len(fig13Capacities), func(i int) l4Point {
+		mb := fig13Capacities[i]
+		m := workload.Measure(sweep, workload.MeasureConfig{
 			Platform: c.PLT1().ScaleCaches(workload.SweepScale),
 			Cores:    min(o.Threads, 8), SMTWays: 2,
 			Threads:        min(o.Threads, 16),
@@ -67,9 +76,10 @@ func sweepL4(c *Context, assoc int) []l4Point {
 			L4Misses: m.L4.TotalMisses(),
 		}
 		p.dramFilter = tr.DRAMFilterRate()
-		out = append(out, p)
 		o.logf("fig13: L4 %d MiB-paper: hit %.2f filter %.2f", mb, p.hitRate, p.dramFilter)
-	}
+		return p
+	})
+	c.curves[key] = out
 	return out
 }
 

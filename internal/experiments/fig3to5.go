@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"searchmem/internal/memsim"
 	"searchmem/internal/trace"
 	"searchmem/internal/workload"
 )
@@ -70,14 +71,21 @@ func runFig4(c *Context) (Result, error) {
 		XLabel: "cores", YLabel: "footprint MiB",
 		Note: "shard (not shown) dominates at 100s of GiB-equivalent; heap ~10x code/stack and sublinear",
 	}
-	for _, cores := range []int{6, 16, 26, 36} {
+	coreCounts := []int{6, 16, 26, 36}
+	// Each point builds and drives a private workload instance, so points are
+	// independent; the worker cap bounds peak memory from concurrent builds.
+	spaces := runPoints(c, 2, len(coreCounts), func(i int) *memsim.Space {
+		cores := coreCounts[i]
 		// A fresh workload instance sized for this many sessions.
 		wl := workload.S1Leaf(o.Shrink)
 		wl.Engine.MaxSessions = cores + 1
 		r := wl.Build()
 		// Activate one session per core (warm run binds them).
 		r.Run(cores, int64(cores)*20_000, o.Seed, workload.Sinks{})
-		space := r.Space()
+		return r.Space()
+	})
+	for i, space := range spaces {
+		cores := coreCounts[i]
 		fig.Add("code", float64(cores), float64(space.FootprintBytes(trace.Code))/(1<<20))
 		fig.Add("stack", float64(cores), float64(space.FootprintBytes(trace.Stack))/(1<<20))
 		fig.Add("heap", float64(cores), float64(space.FootprintBytes(trace.Heap))/(1<<20))
@@ -94,29 +102,30 @@ func runFig5(c *Context) (Result, error) {
 		XLabel: "threads", YLabel: "working set GiB",
 		Note: "heap grows sublinearly toward ~1 GiB (shared structures); shard grows with threads",
 	}
+	var threadCounts []int
 	for _, threads := range []int{1, 2, 4, 8, 16} {
 		if threads > o.Threads*2 {
 			break
 		}
+		threadCounts = append(threadCounts, threads)
+	}
+	sets := runPoints(c, 2, len(threadCounts), func(i int) *trace.WorkingSet {
+		threads := threadCounts[i]
 		wl := workload.S1LeafSweep(o.Shrink)
 		r := wl.Build()
 		ws := trace.NewWorkingSet(64)
 		budget := o.Budget / 2 * int64(threads)
 		r.Run(threads, budget, o.Seed, workload.Sinks{Access: ws.Observe})
+		return ws
+	})
+	for i, ws := range sets {
+		threads := threadCounts[i]
 		fig.Add("heap", float64(threads),
 			float64(workload.PaperUnits(int64(ws.Bytes(trace.Heap))))/(1<<30))
 		fig.Add("shard", float64(threads),
 			float64(workload.PaperUnits(int64(ws.Bytes(trace.Shard))))/(1<<30))
 	}
 	return fig, nil
-}
-
-// stackDistFromRun runs a workload and returns per-segment profilers plus
-// the instruction count (shared by the capacity-sweep experiments).
-func stackDistFromRun(r workload.Runner, threads int, budget int64, seed uint64, l2eff int64) (*segmentStackDists, int64) {
-	sds := newSegmentStackDists(l2eff)
-	st := r.Run(threads, budget, seed, workload.Sinks{Access: sds.Observe})
-	return sds, st.Instructions
 }
 
 // combinedCurveFromRun runs a workload into a single global-distance

@@ -74,12 +74,49 @@ func runFig6a(c *Context) (Result, error) {
 // sweepCapacities are the paper's Figure 6b/6c x values (MiB).
 var sweepCapacities = []int64{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
 
+// segProfileResult is the memoized outcome of segProfile.
+type segProfileResult struct {
+	sds   *segmentStackDists
+	instr int64
+}
+
+// segProfile synthesizes the capacity-sweep trace once (memoized in the
+// Replayer), then profiles each segment's stack distances from independent
+// read-only Views over the shared recording — one worker per segment under
+// Options.Parallel. Each segment's profiler sees exactly the subsequence it
+// would have seen in the serial single-pass loop, so the profile (and all
+// figures derived from it) is identical either way. Figures 6b and 6c share
+// the result via the context's curve cache.
+func segProfile(c *Context) (*segmentStackDists, int64) {
+	c.curveMu.Lock()
+	defer c.curveMu.Unlock()
+	key := curveKey{kind: "segprof"}
+	if cached, ok := c.curves[key]; ok {
+		r := cached.(segProfileResult)
+		return r.sds, r.instr
+	}
+	o := c.Opts
+	l2eff := int64(o.Threads) * workload.SimUnits(256<<10)
+	sh, st := c.Sweep().Trace(o.Threads, o.Budget*4, o.Seed)
+	sds := newSegmentStackDists(l2eff)
+	profiles := runPoints(c, 0, int(trace.NumSegments), func(i int) *cache.StackDist {
+		sd := cache.NewStackDist(64)
+		sd.Drain(trace.FilterSegment(sh.View(), trace.Segment(i)))
+		return sd
+	})
+	for i, sd := range profiles {
+		sds.sds[i] = sd
+	}
+	c.curves[key] = segProfileResult{sds: sds, instr: st.Instructions}
+	return sds, st.Instructions
+}
+
 // runFig6b sweeps L3 capacity (paper units) over the sweep profile's
 // per-segment reuse profiles.
 func runFig6b(c *Context) (Result, error) {
 	o := c.Opts
 	l2eff := int64(o.Threads) * workload.SimUnits(256<<10)
-	sds, _ := stackDistFromRun(c.Sweep(), o.Threads, o.Budget*4, o.Seed, l2eff)
+	sds, _ := segProfile(c)
 	fig := &Figure{
 		Title:  "Figure 6b: working-set hit rate vs L3 capacity (paper MiB)",
 		XLabel: "L3 MiB", YLabel: "hit rate",
@@ -110,9 +147,7 @@ func runFig6b(c *Context) (Result, error) {
 
 // runFig6c is the MPKI view of the same sweep.
 func runFig6c(c *Context) (Result, error) {
-	o := c.Opts
-	l2eff := int64(o.Threads) * workload.SimUnits(256<<10)
-	sds, instr := stackDistFromRun(c.Sweep(), o.Threads, o.Budget*4, o.Seed, l2eff)
+	sds, instr := segProfile(c)
 	fig := &Figure{
 		Title:  "Figure 6c: working-set MPKI vs L3 capacity (paper MiB)",
 		XLabel: "L3 MiB", YLabel: "MPKI",
@@ -139,12 +174,20 @@ func runFig7a(c *Context) (Result, error) {
 		Seed:           o.Seed,
 		WarmupFraction: 1.5,
 	}
-	def := workload.Measure(c.Leaf(), base)
 	faPlat := c.PLT1()
 	faPlat.L1I.Assoc, faPlat.L1D.Assoc, faPlat.L2.Assoc, faPlat.L3.Assoc = 0, 0, 0, 0
 	faCfg := base
 	faCfg.Platform = faPlat
-	fa := workload.Measure(c.Leaf(), faCfg)
+	leaf := c.Leaf()
+	// Both variants replay the same recording (identical keys, different
+	// simulated hierarchies), so they parallelize cleanly.
+	ms := runPoints(c, 0, 2, func(i int) workload.Metrics {
+		if i == 0 {
+			return workload.Measure(leaf, base)
+		}
+		return workload.Measure(leaf, faCfg)
+	})
+	def, fa := ms[0], ms[1]
 
 	t := &Table{
 		Title:   "Figure 7a: MPKI decrease with fully-associative caches",
@@ -175,10 +218,16 @@ func runFig7b(c *Context) (Result, error) {
 	o := c.Opts
 	fig := &Figure{
 		Title:  "Figure 7b: MPKI vs cache block size (all caches)",
-		XLabel: "block bytes", YLabel: "MPKI",
+		XLabel: "block size", YLabel: "MPKI",
 		Note: "paper: 64 B near-optimal with limited benefit from larger lines; the reproduction's sequential shard scans give larger lines more benefit than production's more irregular accesses",
+		// Block sizes are sub-MiB byte counts: render them with adaptive
+		// units instead of raw floats.
+		XFormat: func(x float64) string { return mib(int64(x)) },
 	}
-	for _, bs := range []int{32, 64, 128, 256, 512, 1024} {
+	blockSizes := []int{32, 64, 128, 256, 512, 1024}
+	leaf := c.Leaf()
+	ms := runPoints(c, 0, len(blockSizes), func(i int) workload.Metrics {
+		bs := blockSizes[i]
 		plat := c.PLT1()
 		for _, cfg := range []*cache.Config{&plat.L1I, &plat.L1D, &plat.L2, &plat.L3} {
 			cfg.BlockSize = bs
@@ -189,17 +238,20 @@ func runFig7b(c *Context) (Result, error) {
 				cfg.Size = blocks * int64(bs)
 			}
 		}
-		m := workload.Measure(c.Leaf(), workload.MeasureConfig{
+		return workload.Measure(leaf, workload.MeasureConfig{
 			Platform: plat,
 			Cores:    1, SMTWays: 1, Threads: 1,
 			Budget:         o.Budget,
 			Seed:           o.Seed,
 			WarmupFraction: 1.5,
 		})
-		fig.Add("L1-I", float64(bs), m.L1IMPKI)
-		fig.Add("L1-D", float64(bs), m.L1DMPKI)
-		fig.Add("L2", float64(bs), m.L2InstrMPKI+m.L2DataMPKI)
-		fig.Add("L3", float64(bs), m.L3LoadMPKI+m.L3InstrMPKI)
+	})
+	for i, m := range ms {
+		bs := float64(blockSizes[i])
+		fig.Add("L1-I", bs, m.L1IMPKI)
+		fig.Add("L1-D", bs, m.L1DMPKI)
+		fig.Add("L2", bs, m.L2InstrMPKI+m.L2DataMPKI)
+		fig.Add("L3", bs, m.L3LoadMPKI+m.L3InstrMPKI)
 	}
 	return fig, nil
 }

@@ -49,18 +49,25 @@ func catSweep(c *Context) (xsHit, xsAMAT, ysIPC []float64) {
 	o := c.Opts
 	threads := min(o.Threads, 16)
 	cores := (threads + 1) / 2
-	for ways := 2; ways <= 20; ways += 2 {
-		m := workload.Measure(c.Leaf(), workload.MeasureConfig{
+	leaf := c.Leaf()
+	type catPoint struct{ hit, amat, ipc float64 }
+	// All points drive the shared leaf through identical replay keys (same
+	// warmup, same measured run), so parallel recording order matches serial.
+	pts := runPoints(c, 0, 10, func(i int) catPoint {
+		m := workload.Measure(leaf, workload.MeasureConfig{
 			Platform: c.PLT1(),
 			Cores:    cores, SMTWays: 2, Threads: threads,
-			L3Ways:         ways,
+			L3Ways:         2 + 2*i,
 			Budget:         o.Budget * 2,
 			Seed:           o.Seed,
 			WarmupFraction: 1.5,
 		})
-		xsHit = append(xsHit, m.L3HitRate)
-		xsAMAT = append(xsAMAT, m.AMATNS)
-		ysIPC = append(ysIPC, m.IPC)
+		return catPoint{hit: m.L3HitRate, amat: m.AMATNS, ipc: m.IPC}
+	})
+	for _, p := range pts {
+		xsHit = append(xsHit, p.hit)
+		xsAMAT = append(xsAMAT, p.amat)
+		ysIPC = append(ysIPC, p.ipc)
 	}
 	return
 }
@@ -108,12 +115,13 @@ func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 func hitCurve(c *Context, threads int) *l3Curve {
 	c.curveMu.Lock()
 	defer c.curveMu.Unlock()
-	if cached, ok := c.curves[threads]; ok {
+	key := curveKey{kind: "l3curve", arg: int64(threads)}
+	if cached, ok := c.curves[key]; ok {
 		return cached.(*l3Curve)
 	}
 	o := c.Opts
 	sd, _ := combinedCurveFromRun(c.Leaf(), threads, o.Budget*8, o.Seed+77)
-	c.curves[threads] = sd
+	c.curves[key] = sd
 	return sd
 }
 
@@ -133,8 +141,9 @@ type perfModel struct {
 // newPerfModel measures the baseline operating point once (cached per
 // context) and binds it to the hit-rate curve.
 func newPerfModel(c *Context) *perfModel {
+	pmKey := curveKey{kind: "perfmodel"}
 	c.curveMu.Lock()
-	if cached, ok := c.curves[-1]; ok {
+	if cached, ok := c.curves[pmKey]; ok {
 		c.curveMu.Unlock()
 		return cached.(*perfModel)
 	}
@@ -142,6 +151,12 @@ func newPerfModel(c *Context) *perfModel {
 
 	o := c.Opts
 	threads := min(o.Threads, 16)
+	// The model needs three recordings with *different* keys (curve run,
+	// warmup, measured run). Pin their recording order to the serial
+	// engine's before any parallel group can race replays against them.
+	c.Leaf().Record(threads, o.Budget*8, o.Seed+77)
+	c.Leaf().Record(threads, o.Budget*3, o.Seed^0xbeef)
+	c.Leaf().Record(threads, o.Budget*2, o.Seed)
 	curve := hitCurve(c, threads)
 	plat := c.PLT1()
 	base := workload.Measure(c.Leaf(), workload.MeasureConfig{
@@ -153,7 +168,7 @@ func newPerfModel(c *Context) *perfModel {
 	})
 	pm := &perfModel{curve: curve, base: base, core: plat.Core, tL3: plat.L3LatencyNS, tMEM: plat.MemLatencyNS}
 	c.curveMu.Lock()
-	c.curves[-1] = pm
+	c.curves[pmKey] = pm
 	c.curveMu.Unlock()
 	return pm
 }

@@ -13,6 +13,9 @@ func TestHeadlineShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale headline reproduction")
 	}
+	if raceDetectorOn {
+		t.Skip("full-scale headline reproduction exceeds the race-mode time budget; the parallel engine's race coverage lives in TestSharingContextsConcurrent and the serving/workload race tests")
+	}
 	opts := Full()
 	opts.Logf = t.Logf
 	ctx := NewContext(opts)

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the deterministic parallel sweep engine (DESIGN.md §10).
+//
+// A sweep evaluates one configuration ("point") per index over a memoized
+// workload recording. Points are independent cache simulations, so they fan
+// out across worker goroutines; determinism is preserved because
+//
+//   - results land in a slot-per-index slice (collection order never depends
+//     on scheduling), and
+//   - every converted sweep drives its shared runner through a Replayer with
+//     a uniform key set per group (or pre-records heterogeneous keys via
+//     Replayer.Record before fanning out), so recording order — the only
+//     stateful part — is identical to the serial engine's.
+//
+// With Options.Parallel off, runPoints degenerates to a plain serial loop
+// over the same point function, byte-identical by construction.
+
+// sweepWorkers picks the worker count for an n-point sweep. Serial mode and
+// degenerate sweeps get 1. Parallel mode uses GOMAXPROCS but never fewer
+// than 2 workers, so the concurrent paths are exercised (and race-checked)
+// even on single-core hosts; maxWorkers > 0 caps the fan-out for
+// memory-heavy sweeps that build fresh workloads per point.
+func (c *Context) sweepWorkers(n, maxWorkers int) int {
+	if !c.Opts.Parallel || n <= 1 {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	if maxWorkers > 0 && w > maxWorkers {
+		w = maxWorkers
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// runPoints evaluates point(0..n-1) and returns the results in index order.
+// Under Options.Parallel the points run on sweepWorkers(n, maxWorkers)
+// goroutines with work-stealing over an atomic counter; otherwise they run
+// in a serial loop. A panicking point does not wedge the sweep: workers
+// capture per-index panics and the lowest-index one is re-raised after all
+// workers finish, so failure behavior is deterministic too.
+func runPoints[T any](c *Context, maxWorkers, n int, point func(i int) T) []T {
+	out := make([]T, n)
+	workers := c.sweepWorkers(n, maxWorkers)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = point(i)
+		}
+		return out
+	}
+
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					out[i] = point(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("sweep point %d: %v", i, p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSweepWorkers pins the worker-count policy: serial unless Parallel,
+// never a single worker in parallel mode (the concurrent paths must be
+// exercised even on one-core hosts), capped by maxWorkers and point count.
+func TestSweepWorkers(t *testing.T) {
+	serial := NewContext(Options{Shrink: 1, Budget: 1, Threads: 1})
+	if w := serial.sweepWorkers(10, 0); w != 1 {
+		t.Errorf("serial context got %d workers, want 1", w)
+	}
+	par := NewContext(Options{Shrink: 1, Budget: 1, Threads: 1, Parallel: true})
+	if w := par.sweepWorkers(10, 0); w < 2 {
+		t.Errorf("parallel context got %d workers, want >= 2", w)
+	}
+	if w := par.sweepWorkers(1, 0); w != 1 {
+		t.Errorf("1-point sweep got %d workers, want 1", w)
+	}
+	if w := par.sweepWorkers(10, 2); w != 2 {
+		t.Errorf("capped sweep got %d workers, want 2", w)
+	}
+	if w := par.sweepWorkers(3, 64); w > 3 {
+		t.Errorf("3-point sweep got %d workers, want <= 3", w)
+	}
+}
+
+// TestRunPointsOrdered checks results land in index order regardless of
+// scheduling, in both modes.
+func TestRunPointsOrdered(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		c := NewContext(Options{Shrink: 1, Budget: 1, Threads: 1, Parallel: parallel})
+		got := runPoints(c, 0, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%v: point %d = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunPointsPanicDeterministic checks a panicking point surfaces as a
+// panic naming the lowest failing index after all points finish.
+func TestRunPointsPanicDeterministic(t *testing.T) {
+	c := NewContext(Options{Shrink: 1, Budget: 1, Threads: 1, Parallel: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("runPoints swallowed the point panic")
+		}
+		if s, ok := r.(string); !ok || !strings.HasPrefix(s, "sweep point 3:") {
+			t.Fatalf("panic %v, want the lowest failing index (3)", r)
+		}
+	}()
+	runPoints(c, 0, 8, func(i int) int {
+		if i >= 3 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+// TestSharingContextsConcurrent races two contexts that share one workload
+// cache (Sharing) across different experiments touching the same memoized
+// sweep recording — the scenario the race detector must bless. Outputs are
+// checked per-context for self-consistency, not byte-compared: the contexts
+// interleave new recordings, which the Sharing contract excludes from the
+// byte-identical guarantee.
+func TestSharingContextsConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment run is slow in -short mode")
+	}
+	opts := Fast()
+	opts.Seed = 7
+	ctx1 := NewContext(opts)
+	ctx2 := ctx1.Sharing(opts)
+
+	var wg sync.WaitGroup
+	for _, job := range []struct {
+		ctx *Context
+		id  string
+	}{
+		{ctx1, "fig6b"},
+		{ctx2, "fig13"},
+	} {
+		wg.Add(1)
+		go func(ctx *Context, id string) {
+			defer wg.Done()
+			e, ok := ByID(id)
+			if !ok {
+				t.Errorf("experiment %s not registered", id)
+				return
+			}
+			res, err := e.Run(ctx)
+			if err != nil {
+				t.Errorf("%s: %v", id, err)
+				return
+			}
+			if res.Render() == "" {
+				t.Errorf("%s rendered empty output", id)
+			}
+		}(job.ctx, job.id)
+	}
+	wg.Wait()
+}
+
+// TestMibAdaptiveUnits pins the adaptive rendering that replaced the old
+// b>>20 truncation (which rendered every sub-MiB value as "0").
+func TestMibAdaptiveUnits(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0 B"},
+		{64, "64 B"},
+		{1023, "1023 B"},
+		{1 << 10, "1 KiB"},
+		{1536, "1.5 KiB"},
+		{256 << 10, "256 KiB"},
+		{1 << 20, "1 MiB"},
+		{23 << 20, "23 MiB"},
+		{1 << 30, "1 GiB"},
+		{3 << 29, "1.5 GiB"},
+	}
+	for _, c := range cases {
+		if got := mib(c.in); got != c.want {
+			t.Errorf("mib(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFigureXFormatGolden renders a figure with a byte-count x-axis and pins
+// the exact output: block sizes must read as units, not truncated zeros.
+func TestFigureXFormatGolden(t *testing.T) {
+	fig := &Figure{
+		Title:  "block sweep",
+		XLabel: "block size", YLabel: "MPKI",
+		XFormat: func(x float64) string { return mib(int64(x)) },
+	}
+	fig.Add("L2", 64, 1.5)
+	fig.Add("L2", 1024, 0.75)
+	fig.Add("L2", 2<<20, 0.5)
+	got := fig.Render()
+	want := "block sweep\n" +
+		"(y: MPKI)\n" +
+		"block size  L2  \n" +
+		"----------  ----\n" +
+		"64 B        1.5 \n" +
+		"1 KiB       0.75\n" +
+		"2 MiB       0.5 \n"
+	if got != want {
+		t.Errorf("rendered figure:\n%s\nwant:\n%s", got, want)
+	}
+}

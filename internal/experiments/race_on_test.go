@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn reports whether the test binary was built with -race.
+// Full()-scale numeric tests skip under the race detector: its ~10-20x
+// slowdown blows the package test timeout without adding race coverage
+// (the dedicated concurrency tests exercise the parallel engine's sharing
+// paths at Fast() scale).
+const raceDetectorOn = true

@@ -33,8 +33,10 @@ func runSplitL2(c *Context) (Result, error) {
 		mc.SplitL2 = split
 		return workload.Measure(c.Leaf(), mc)
 	}
-	unified := run(false)
-	split := run(true)
+	// Both variants replay the same recording — identical keys, so the pair
+	// parallelizes without perturbing recording order.
+	ms := runPoints(c, 0, 2, func(i int) workload.Metrics { return run(i == 1) })
+	unified, split := ms[0], ms[1]
 
 	t := &Table{
 		Title:   "Split I/D L2 what-if (256 KiB unified vs 128+128 KiB split)",

@@ -54,16 +54,22 @@ func runTable1(c *Context) (Result, error) {
 		Headers: []string{"workload", "IPC", "L3$ load MPKI", "L2$ instr MPKI", "branch MPKI"},
 		Note:    "simulated reproduction; paper S1 leaf fleet: 1.34 / 2.20 / 11.83 / 8.98",
 	}
-	for _, col := range cols {
+	// Columns on the shared leaf replay identical keys; the rest build
+	// private workloads, so the columns are independent. The worker cap
+	// bounds peak memory from concurrent builds.
+	ms := runPoints(c, 4, len(cols), func(i int) workload.Metrics {
+		col := cols[i]
 		o.logf("table1: measuring %s...", col.name)
-		m := workload.Measure(col.build(), workload.MeasureConfig{
+		return workload.Measure(col.build(), workload.MeasureConfig{
 			Platform: col.plat,
 			Cores:    1, SMTWays: 1, Threads: 1,
 			Budget:         o.Budget,
 			Seed:           o.Seed,
 			WarmupFraction: 2.0,
 		})
-		t.AddRow(col.name,
+	})
+	for i, m := range ms {
+		t.AddRow(cols[i].name,
 			fmt.Sprintf("%.2f", m.IPC),
 			fmt.Sprintf("%.2f", m.L3LoadMPKI),
 			fmt.Sprintf("%.2f", m.L2InstrMPKI),

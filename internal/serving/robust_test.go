@@ -278,9 +278,10 @@ func faultyCluster(cfg Config, n int, seed uint64) *Cluster {
 	return NewCluster(cfg, execs)
 }
 
-// TestRaceFaultInjectedLoad is the -race stress test: concurrent clients
-// drive the concurrent leaf fan-out with fault injection, deadlines and
-// hedging all enabled.
+// TestRaceFaultInjectedLoad is the -race stress test: the closed-loop load
+// drives the concurrent per-query leaf fan-out with fault injection,
+// deadlines and hedging all enabled (client concurrency is modeled in
+// virtual time; TestConcurrentServe covers truly concurrent Serve calls).
 func TestRaceFaultInjectedLoad(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LeafDeadlineNS = 8e6
@@ -301,21 +302,32 @@ func TestRaceFaultInjectedLoad(t *testing.T) {
 }
 
 // TestRunLoadDeterministic asserts identical LoadStats across two runs with
-// the same seed (single closed-loop client: fault injection, hedging and
-// the latency model are all deterministic in virtual time).
+// the same seed — including the exact fault and hedge counters — for both a
+// single client and a multi-client closed loop. Multi-client determinism is
+// the regression pin for the virtual-completion-order event loop: the old
+// goroutine-per-client driver drew per-executor jitter RNGs in scheduling
+// order, so hedge counts drifted run to run under -race.
 func TestRunLoadDeterministic(t *testing.T) {
-	run := func() LoadStats {
-		cfg := DefaultConfig()
-		cfg.LeafDeadlineNS = 8e6
-		cfg.HedgeDelayNS = 4e6
-		return RunLoad(faultyCluster(cfg, 12, 11), 1, 300, 400, 1.1, 9)
-	}
-	a, b := run(), run()
-	if a != b {
-		t.Fatalf("LoadStats differ across identical runs:\n%+v\n%+v", a, b)
-	}
-	if a.PartialResults == 0 {
-		t.Fatal("fault injection produced no partial results")
+	for _, clients := range []int{1, 8} {
+		run := func() (LoadStats, Metrics) {
+			cfg := DefaultConfig()
+			cfg.LeafDeadlineNS = 8e6
+			cfg.HedgeDelayNS = 4e6
+			cl := faultyCluster(cfg, 12, 11)
+			st := RunLoad(cl, clients, 300, 400, 1.1, 9)
+			return st, cl.Metrics()
+		}
+		a, am := run()
+		b, bm := run()
+		if a != b {
+			t.Fatalf("clients=%d: LoadStats differ across identical runs:\n%+v\n%+v", clients, a, b)
+		}
+		if am.HedgesIssued != bm.HedgesIssued || am.LeafTimeouts != bm.LeafTimeouts || am.LeafFailures != bm.LeafFailures {
+			t.Fatalf("clients=%d: fault counters differ across identical runs:\n%+v\n%+v", clients, am, bm)
+		}
+		if a.PartialResults == 0 {
+			t.Fatal("fault injection produced no partial results")
+		}
 	}
 }
 

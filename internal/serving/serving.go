@@ -736,40 +736,60 @@ type LoadStats struct {
 
 // RunLoad drives the cluster with a closed-loop load of clients issuing
 // queries drawn Zipf-popular from vocabSize (popular queries repeat, which
-// is what makes the cache tier effective). It is deterministic given seed
-// when run with a single client; with more clients, fault-injection
-// outcomes stay deterministic (see FaultyExecutor) but shared-RNG service
-// jitter depends on scheduling order.
+// is what makes the cache tier effective). The closed loop runs in virtual
+// time: every client always has exactly one query in flight (zero think
+// time), so queries are issued one at a time in virtual-completion order
+// and the cluster is told the standing occupancy is `clients`. The query
+// interleaving — and with it every executor's service-jitter RNG draw
+// sequence — is therefore a pure function of the seed, never of goroutine
+// scheduling, for any client count (DESIGN.md §8).
 func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64, seed uint64) LoadStats {
 	if clients <= 0 || queriesPerClient <= 0 || vocabSize <= 0 {
 		panic("serving: load parameters must be positive")
 	}
 	hist := stats.NewHistogram(8)
-	var histMu sync.Mutex
 	var partials int64
-	var wg sync.WaitGroup
-	for cl := 0; cl < clients; cl++ {
-		wg.Add(1)
-		go func(cl int) {
-			defer wg.Done()
-			rng := stats.NewRNG(seed + uint64(cl)*977)
-			// Query popularity: a Zipf over "canned" query ids expanded
-			// into term tuples, modeling repeated popular queries.
-			qsel := stats.NewZipf(rng.Split(), uint64(vocabSize), skew)
-			for i := 0; i < queriesPerClient; i++ {
-				qid := qsel.Next()
-				terms := []uint32{uint32(qid), uint32(qid>>3) % uint32(vocabSize)}
-				r := c.Serve(Query{Terms: terms})
-				histMu.Lock()
-				hist.Add(r.LatencyNS)
-				if r.Partial {
-					partials++
-				}
-				histMu.Unlock()
-			}
-		}(cl)
+	type client struct {
+		qsel   *stats.Zipf
+		nextNS float64 // virtual time at which the client's next query issues
+		issued int
 	}
-	wg.Wait()
+	cls := make([]client, clients)
+	for cl := range cls {
+		rng := stats.NewRNG(seed + uint64(cl)*977)
+		// Query popularity: a Zipf over "canned" query ids expanded
+		// into term tuples, modeling repeated popular queries.
+		cls[cl].qsel = stats.NewZipf(rng.Split(), uint64(vocabSize), skew)
+	}
+	// Serve charges congestion from the live in-flight count; park the
+	// other clients' standing queries there so each sequential call sees
+	// the full closed-loop occupancy.
+	c.mu.Lock()
+	c.inflight = int64(clients) - 1
+	c.mu.Unlock()
+	for done := 0; done < clients*queriesPerClient; done++ {
+		cl := -1
+		for i := range cls {
+			if cls[i].issued >= queriesPerClient {
+				continue
+			}
+			if cl < 0 || cls[i].nextNS < cls[cl].nextNS {
+				cl = i
+			}
+		}
+		qid := cls[cl].qsel.Next()
+		terms := []uint32{uint32(qid), uint32(qid>>3) % uint32(vocabSize)}
+		r := c.Serve(Query{Terms: terms})
+		hist.Add(r.LatencyNS)
+		if r.Partial {
+			partials++
+		}
+		cls[cl].nextNS += r.LatencyNS
+		cls[cl].issued++
+	}
+	c.mu.Lock()
+	c.inflight = 0
+	c.mu.Unlock()
 
 	mean := hist.Mean()
 	st := LoadStats{

@@ -1,0 +1,56 @@
+package trace
+
+// Shared is an immutable in-memory access trace intended to be synthesized
+// once and then replayed read-only by many consumers — the memoization layer
+// behind the capacity-sweep experiments, which evaluate dozens of cache
+// configurations over the same leaf trace (the paper's own methodology: one
+// Pin capture, many simulator replays).
+//
+// Immutability contract: NewShared takes ownership of the slice; the caller
+// must not retain or mutate it afterwards. Shared itself never mutates the
+// buffer, so any number of Views may iterate it concurrently from different
+// goroutines without synchronization.
+type Shared struct {
+	accesses []Access
+}
+
+// NewShared wraps accesses as an immutable shared trace. Ownership of the
+// slice transfers to the Shared; callers must drop their reference.
+func NewShared(accesses []Access) *Shared {
+	return &Shared{accesses: accesses}
+}
+
+// Len returns the number of accesses in the trace.
+func (s *Shared) Len() int { return len(s.accesses) }
+
+// At returns the i-th access.
+func (s *Shared) At(i int) Access { return s.accesses[i] }
+
+// View returns a new rewindable Stream over the shared buffer. Creating a
+// view is allocation-cheap (no copy); each view holds its own cursor, so
+// concurrent sweep points each take their own.
+func (s *Shared) View() *View { return &View{s: s} }
+
+// View is a cursor over a Shared trace. It implements Stream and can be
+// rewound to the start for another pass. A View is not safe for concurrent
+// use, but distinct Views over the same Shared are independent.
+type View struct {
+	s   *Shared
+	pos int
+}
+
+// Next implements Stream.
+func (v *View) Next(a *Access) bool {
+	if v.pos >= len(v.s.accesses) {
+		return false
+	}
+	*a = v.s.accesses[v.pos]
+	v.pos++
+	return true
+}
+
+// Rewind resets the cursor to the beginning of the trace.
+func (v *View) Rewind() { v.pos = 0 }
+
+// Len returns the total number of accesses in the underlying trace.
+func (v *View) Len() int { return len(v.s.accesses) }

@@ -10,6 +10,12 @@ import (
 	"searchmem/internal/trace"
 )
 
+// NoWarmup disables the warmup phase entirely when assigned to
+// MeasureConfig.WarmupFraction. A plain 0 cannot express this — it is the
+// "unset" sentinel selecting the default 0.25 — so cold-start measurements
+// use this negative sentinel instead.
+const NoWarmup = -1.0
+
 // MeasureConfig describes one measurement run: a workload on a platform
 // hierarchy with the paper's instrumentation attached (functional cache
 // simulation + branch predictors + the calibrated core model).
@@ -44,7 +50,12 @@ type MeasureConfig struct {
 	// Prefetchers, when non-nil, is invoked per core to attach hardware
 	// prefetchers.
 	Prefetchers func() []cpu.Prefetcher
-	// WarmupFraction scales the warmup budget (default 0.25).
+	// WarmupFraction scales the warmup budget. The zero value selects the
+	// default of 0.25; any negative value (use NoWarmup) disables warmup
+	// entirely, so the measured phase starts from cold caches and includes
+	// compulsory effects. Positive values are used as given (values above 1
+	// warm with more instructions than the measured budget, e.g. the
+	// calibration runs' 2.0).
 	WarmupFraction float64
 	// AccessObserver, when non-nil, sees every measured-phase access along
 	// with the hierarchy level that served it (warmup is not observed, to
@@ -92,8 +103,11 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 	if mc.PredictorBits == 0 {
 		mc.PredictorBits = 14
 	}
-	if mc.WarmupFraction == 0 {
-		mc.WarmupFraction = 0.25
+	switch {
+	case mc.WarmupFraction == 0:
+		mc.WarmupFraction = 0.25 // unset: the default warmup
+	case mc.WarmupFraction < 0:
+		mc.WarmupFraction = 0 // NoWarmup: an explicit cold-start measurement
 	}
 
 	var hcfg cache.HierarchyConfig

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"sync"
+
+	"searchmem/internal/trace"
+)
+
+// Replayer wraps a Runner and memoizes its event streams: the first Run for
+// a given (threads, budget, seed) key executes the inner runner once and
+// records the full interleaved access and branch streams into an immutable
+// trace.Shared; every later Run with the same key replays the recording
+// read-only. This is the paper's own methodology made explicit — one trace
+// capture, many simulator replays — and is what lets the parallel sweep
+// engine fan dozens of cache configurations across goroutines without
+// touching the stateful workload (SearchRunner sessions and engine caches
+// are not concurrent-safe).
+//
+// Concurrency and determinism contract:
+//   - Recording is serialized under a mutex; the inner runner only ever
+//     executes single-threaded.
+//   - Replays are read-only and may run concurrently from any number of
+//     goroutines.
+//   - The inner runner's state evolves with each recording, so the trace a
+//     key maps to depends on the order in which *distinct* keys are first
+//     requested. Concurrent sweep points must therefore either request an
+//     identical key sequence (every converted sweep does: same warmup key,
+//     then same measure key) or pre-record their keys in a deterministic
+//     order via Record before fanning out. See DESIGN.md §10.
+//
+// Recorded traces live until the Replayer is garbage-collected; there is
+// deliberately no eviction, because re-recording an evicted key would
+// observe different inner-runner state and break replay determinism.
+type Replayer struct {
+	inner Runner
+
+	mu   sync.Mutex
+	runs map[runKey]*recordedRun
+}
+
+// runKey identifies one memoized recording.
+type runKey struct {
+	threads int
+	budget  int64
+	seed    uint64
+}
+
+// recordedRun is one immutable captured execution.
+type recordedRun struct {
+	shared   *trace.Shared
+	branches []recordedBranch
+	stats    Stats
+}
+
+// recordedBranch is a branch event anchored to its position in the access
+// stream: it replays after `pos` accesses have been emitted, preserving the
+// recorded interleaving of the two event streams.
+type recordedBranch struct {
+	pc     uint64
+	pos    int64
+	thread uint8
+	taken  bool
+}
+
+// NewReplayer wraps inner with a memoizing replay layer.
+func NewReplayer(inner Runner) *Replayer {
+	return &Replayer{inner: inner, runs: make(map[runKey]*recordedRun)}
+}
+
+// Name implements Runner.
+func (r *Replayer) Name() string { return r.inner.Name() }
+
+// MemOverlap implements Runner.
+func (r *Replayer) MemOverlap() float64 { return r.inner.MemOverlap() }
+
+// Run implements Runner: it records on first use of a key and replays the
+// memoized streams into s on every call. Replays of an already-recorded key
+// are safe to issue concurrently.
+func (r *Replayer) Run(threads int, instrBudget int64, seed uint64, s Sinks) Stats {
+	rec := r.record(runKey{threads: threads, budget: instrBudget, seed: seed})
+	rec.replay(s)
+	return rec.stats
+}
+
+// Record ensures the given key is recorded without replaying it. Parallel
+// groups whose points request *different* keys call this first, in the same
+// order the serial engine would, so recording order stays deterministic.
+func (r *Replayer) Record(threads int, instrBudget int64, seed uint64) {
+	r.record(runKey{threads: threads, budget: instrBudget, seed: seed})
+}
+
+// Trace returns the memoized shared access trace and run stats for a key,
+// recording it first if needed. The returned trace is immutable; consumers
+// take independent Views over it.
+func (r *Replayer) Trace(threads int, instrBudget int64, seed uint64) (*trace.Shared, Stats) {
+	rec := r.record(runKey{threads: threads, budget: instrBudget, seed: seed})
+	return rec.shared, rec.stats
+}
+
+// Recordings returns how many distinct keys have been recorded (test hook).
+func (r *Replayer) Recordings() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.runs)
+}
+
+// record returns the memoized run for key, executing the inner runner under
+// the lock on first request. Double-checked callers all block until the
+// recording completes, then share the immutable result.
+func (r *Replayer) record(key runKey) *recordedRun {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.runs[key]; ok {
+		return rec
+	}
+	var accesses []trace.Access
+	var branches []recordedBranch
+	st := r.inner.Run(key.threads, key.budget, key.seed, Sinks{
+		Access: func(a trace.Access) { accesses = append(accesses, a) },
+		Branch: func(thread uint8, pc uint64, taken bool) {
+			branches = append(branches, recordedBranch{pc: pc, pos: int64(len(accesses)), thread: thread, taken: taken})
+		},
+	})
+	rec := &recordedRun{shared: trace.NewShared(accesses), branches: branches, stats: st}
+	r.runs[key] = rec
+	return rec
+}
+
+// replay emits the recorded streams into s in their captured interleaving.
+// It only reads immutable state, so concurrent replays need no locking.
+func (rec *recordedRun) replay(s Sinks) {
+	v := rec.shared.View()
+	var a trace.Access
+	var pos int64
+	bi := 0
+	for v.Next(&a) {
+		for bi < len(rec.branches) && rec.branches[bi].pos == pos {
+			b := rec.branches[bi]
+			if s.Branch != nil {
+				s.Branch(b.thread, b.pc, b.taken)
+			}
+			bi++
+		}
+		if s.Access != nil {
+			s.Access(a)
+		}
+		pos++
+	}
+	for ; bi < len(rec.branches); bi++ {
+		b := rec.branches[bi]
+		if s.Branch != nil {
+			s.Branch(b.thread, b.pc, b.taken)
+		}
+	}
+}
