@@ -31,9 +31,14 @@ obs-demo:
 	$(GO) run ./cmd/searchsim -fast -trace fleetprof-trace.json -metrics fleetprof-metrics.json fleetprof
 
 # bench runs the sweep-engine before/after benchmarks (serial vs parallel,
-# DESIGN.md §10) and publishes them as BENCH_sweep.json via cmd/benchjson.
+# DESIGN.md §10) and the batched-kernel microbenchmarks (DESIGN.md §11),
+# publishing them as BENCH_sweep.json / BENCH_kernel.json via cmd/benchjson.
+# Compare a fresh run against a saved artifact with
+# `go run ./cmd/benchjson -compare BENCH_kernel.json bench_kernel.out`.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x -timeout 45m $(BENCHARGS) . | tee bench_sweep.out
 	$(GO) run ./cmd/benchjson -o BENCH_sweep.json bench_sweep.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedReplay|BenchmarkHierarchyAccess|BenchmarkMultiSim' -timeout 30m $(BENCHARGS) . | tee bench_kernel.out
+	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_kernel.out
 
 ci: build lint test race

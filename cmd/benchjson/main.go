@@ -4,14 +4,21 @@
 // used and nothing here consults wall-clock time or randomness: the same
 // input produces byte-identical JSON.
 //
+// With -compare it instead diffs two runs: the flag names the baseline
+// (a previously written JSON artifact or raw bench text — auto-detected),
+// the positional argument or stdin supplies the new run, and the report
+// lists per-benchmark ns/op deltas and speedups plus any unmatched names.
+//
 // Usage:
 //
 //	go test -bench 'BenchmarkSweep' . | benchjson -o BENCH_sweep.json
 //	benchjson -o BENCH_sweep.json bench_sweep.out
+//	benchjson -compare BENCH_kernel.json bench_kernel.out
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,8 +76,68 @@ func parse(r io.Reader) ([]benchResult, error) {
 	return out, sc.Err()
 }
 
+// loadResults reads benchmark results from either format: a JSON artifact
+// this tool wrote earlier, or raw `go test -bench` text. A leading '[' that
+// unmarshals cleanly selects JSON; everything else goes through the text
+// parser.
+func loadResults(r io.Reader) ([]benchResult, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		var out []benchResult
+		if err := json.Unmarshal(trimmed, &out); err == nil {
+			return out, nil
+		}
+	}
+	return parse(bytes.NewReader(data))
+}
+
+// compareReport renders the per-benchmark ns/op comparison of two runs.
+// Matched benchmarks appear in the new run's order with delta and speedup;
+// names present in only one run are listed afterwards, so a renamed or
+// dropped benchmark cannot silently vanish from the report.
+func compareReport(old, cur []benchResult) string {
+	oldNS := make(map[string]float64, len(old))
+	matched := make(map[string]bool, len(old))
+	for _, r := range old {
+		oldNS[r.Name] = r.Metrics["ns/op"]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "speedup")
+	for _, r := range cur {
+		ns := r.Metrics["ns/op"]
+		o, ok := oldNS[r.Name]
+		if !ok {
+			continue
+		}
+		matched[r.Name] = true
+		delta, speedup := "n/a", "n/a"
+		if o > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (ns-o)/o*100)
+			if ns > 0 {
+				speedup = fmt.Sprintf("%.2fx", o/ns)
+			}
+		}
+		fmt.Fprintf(&b, "%-44s %14.2f %14.2f %9s %9s\n", r.Name, o, ns, delta, speedup)
+	}
+	for _, r := range cur {
+		if _, ok := oldNS[r.Name]; !ok {
+			fmt.Fprintf(&b, "only in new: %s\n", r.Name)
+		}
+	}
+	for _, r := range old {
+		if !matched[r.Name] {
+			fmt.Fprintf(&b, "only in old: %s\n", r.Name)
+		}
+	}
+	return b.String()
+}
+
 func main() {
 	outPath := flag.String("o", "", "write JSON here (default stdout)")
+	comparePath := flag.String("compare", "", "compare the input against this baseline (JSON artifact or bench text) instead of emitting JSON")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -87,13 +154,37 @@ func main() {
 		os.Exit(2)
 	}
 
-	results, err := parse(in)
+	results, err := loadResults(in)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
 		os.Exit(1)
 	}
 	if results == nil {
 		results = []benchResult{} // render [] rather than null
+	}
+
+	if *comparePath != "" {
+		f, err := os.Open(*comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		old, err := loadResults(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		report := compareReport(old, results)
+		if *outPath == "" {
+			os.Stdout.WriteString(report)
+			return
+		}
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	buf, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

@@ -36,6 +36,59 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestLoadResultsAutoDetect(t *testing.T) {
+	text := "BenchmarkHierarchyAccess/batched-1 \t 100\t 40.26 ns/op\nPASS\n"
+	fromText, err := loadResults(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonIn := `[{"name":"BenchmarkHierarchyAccess/batched-1","iterations":100,"metrics":{"ns/op":40.26}}]`
+	fromJSON, err := loadResults(strings.NewReader(jsonIn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range [][]benchResult{fromText, fromJSON} {
+		if len(res) != 1 || res[0].Name != "BenchmarkHierarchyAccess/batched-1" || res[0].Metrics["ns/op"] != 40.26 {
+			t.Fatalf("parsed %+v", res)
+		}
+	}
+
+	// A '[' that is not valid JSON falls back to the text parser.
+	res, err := loadResults(strings.NewReader("[broken\nBenchmarkX-1 \t 2\t 5 ns/op\n"))
+	if err != nil || len(res) != 1 || res[0].Name != "BenchmarkX-1" {
+		t.Fatalf("fallback parse: %v %+v", err, res)
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	old := []benchResult{
+		{Name: "BenchmarkA-1", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkGone-1", Metrics: map[string]float64{"ns/op": 7}},
+	}
+	cur := []benchResult{
+		{Name: "BenchmarkA-1", Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "BenchmarkNew-1", Metrics: map[string]float64{"ns/op": 9}},
+	}
+	got := compareReport(old, cur)
+	for _, want := range []string{
+		"BenchmarkA-1",
+		"100.00",
+		"50.00",
+		"-50.0%",
+		"2.00x",
+		"only in new: BenchmarkNew-1",
+		"only in old: BenchmarkGone-1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+	// Same input twice: byte-identical report (no map-order dependence).
+	if again := compareReport(old, cur); again != got {
+		t.Error("compareReport is not deterministic")
+	}
+}
+
 func TestParseStream(t *testing.T) {
 	in := "goos: linux\n" +
 		"BenchmarkSweepFig13/serial-4 \t 1\t 5000000 ns/op\n" +

@@ -1,0 +1,107 @@
+// Fixture for the batchalias analyzer: the slice a NextBatch method returns
+// is a zero-copy window into stream internals, valid only until the next
+// NextBatch call. Retaining it — returning, storing, capturing in a literal,
+// or appending the slice itself — is the finding; in-place reads are not.
+package batchalias
+
+type Access struct{ Addr uint64 }
+
+type stream struct {
+	data []Access
+	pos  int
+}
+
+// NextBatch hands out a window over the stream's backing array, like
+// trace.View does.
+func (s *stream) NextBatch() []Access {
+	if s.pos >= len(s.data) {
+		return nil
+	}
+	b := s.data[s.pos:]
+	s.pos = len(s.data)
+	return b
+}
+
+type holder struct {
+	batch   []Access
+	batches [][]Access
+	byName  map[string][]Access
+}
+
+func returnBad(s *stream) []Access {
+	b := s.NextBatch()
+	return b // want `returnBad returns NextBatch window "b"`
+}
+
+func returnSubsliceBad(s *stream) []Access {
+	b := s.NextBatch()
+	head := b[:1] // a subslice of a window is still the window
+	return head   // want `returnSubsliceBad returns NextBatch window "head"`
+}
+
+func storeFieldBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	h.batch = b // want `storeFieldBad stores NextBatch window "b" into h\.batch`
+}
+
+func storeIndexBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	h.byName["k"] = b // want `storeIndexBad stores NextBatch window "b" into h\.byName\["k"\]`
+}
+
+func appendElementBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	h.batches = append(h.batches, b) // want `appendElementBad appends NextBatch window "b" as an element`
+}
+
+func compositeBad(s *stream) holder {
+	b := s.NextBatch()
+	return holder{batch: b} // want `compositeBad captures NextBatch window "b" in a composite literal`
+}
+
+func rebindBad(s *stream) []Access {
+	b := s.NextBatch()
+	keep := b   // rebinding carries the taint
+	return keep // want `rebindBad returns NextBatch window "keep"`
+}
+
+// Fixed and intended forms: none of these may be flagged.
+
+func drainGood(s *stream, sink func(Access)) {
+	for {
+		b := s.NextBatch()
+		if len(b) == 0 {
+			return
+		}
+		for i := range b {
+			sink(b[i]) // element copies are free to escape
+		}
+	}
+}
+
+func copyGood(s *stream) []Access {
+	b := s.NextBatch()
+	return append([]Access(nil), b...) // the copy kills the taint
+}
+
+func spreadGood(s *stream, h *holder) {
+	b := s.NextBatch()
+	h.batch = append(h.batch, b...) // element-wise append copies contents
+}
+
+func rebindCopyGood(s *stream) []Access {
+	b := s.NextBatch()
+	b = append([]Access(nil), b...) // reassignment from a call is fresh
+	return b
+}
+
+func passGood(s *stream, consume func([]Access)) {
+	b := s.NextBatch()
+	consume(b) // handing the window down a call chain is the intended use
+}
+
+func ignoredGood(s *stream) []Access {
+	b := s.NextBatch()
+	//lint:ignore batchalias fixture: single-batch stream, never advanced again
+	return b
+}

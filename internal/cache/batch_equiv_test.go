@@ -1,0 +1,315 @@
+package cache
+
+// Equivalence tests for the batched replay kernels: AccessBatch /
+// DrainBatch / MultiSim must be observationally identical to the scalar
+// per-access path — same stats, same HitLevel per access, and bit-identical
+// internal cache state (tag/stamp/meta arrays, occupancy, recency clock,
+// line buffer, FA list order) regardless of policy, partitioning, batch
+// size, or how many hierarchies share one decode pass.
+
+import (
+	"reflect"
+	"testing"
+
+	"searchmem/internal/stats"
+	"searchmem/internal/trace"
+)
+
+// equivTrace generates a seeded access pattern with hot, warm and cold
+// regions so the hierarchy sees hits at every level, evictions, dirty
+// writebacks, instruction fetches and unaligned multi-block accesses.
+func batchEquivTrace(seed uint64, n, threads int) []trace.Access {
+	rng := stats.NewRNG(seed)
+	accs := make([]trace.Access, 0, n)
+	for i := 0; i < n; i++ {
+		seg := trace.Segment(rng.Intn(trace.NumSegments))
+		kind := trace.Kind(rng.Intn(trace.NumKinds))
+		var addr uint64
+		switch rng.Intn(4) {
+		case 0: // hot: fits L1, mostly hits
+			addr = uint64(rng.Intn(1 << 10))
+		case 1: // warm: fits L3 but not the private levels
+			addr = 1<<20 + uint64(rng.Intn(12<<10))
+		case 2: // same-block run: consecutive fetch-style reuse
+			addr = 1 << 16
+		default: // cold: misses everywhere, forces evictions
+			addr = 1<<30 + uint64(rng.Intn(1<<19))
+		}
+		size := uint16(1 << rng.Intn(7)) // 1..64 B, may straddle blocks
+		accs = append(accs, trace.Access{
+			Addr: addr, Size: size, Seg: seg, Kind: kind,
+			Thread: uint8(rng.Intn(threads)),
+		})
+	}
+	return accs
+}
+
+// cacheSnap captures a cache's complete observable and internal state.
+type cacheSnap struct {
+	Stats  AccessStats
+	Tags   []uint64
+	Stamps []uint64
+	Meta   []uint8
+	Occ    []uint16
+	Clock  uint64
+	Last   uint64
+	FAList []Line // fully-associative store in recency order
+}
+
+func snapCache(c *Cache) cacheSnap {
+	s := cacheSnap{
+		Stats: c.Stats,
+		Tags:  append([]uint64(nil), c.tags...),
+		Occ:   append([]uint16(nil), c.occ...),
+		Clock: c.clock,
+		Last:  c.lastBlock,
+	}
+	s.Stamps = append([]uint64(nil), c.stamps...)
+	s.Meta = append([]uint8(nil), c.meta...)
+	if c.assoc == 0 {
+		for idx := c.faHead; idx >= 0; idx = c.faNodes[idx].next {
+			s.FAList = append(s.FAList, c.faNodes[idx].line)
+		}
+	}
+	return s
+}
+
+// snapHierarchy captures every cache in the hierarchy plus memory traffic.
+func snapHierarchy(h *Hierarchy) map[string]any {
+	m := map[string]any{
+		"MemReads":  h.MemReads,
+		"MemWrites": h.MemWrites,
+		"PrefFills": h.PrefetchFills,
+		"PrefReads": h.PrefetchMemReads,
+		"L3":        snapCache(h.l3),
+	}
+	for i, c := range h.l1i {
+		m["L1I"+string(rune('0'+i))] = snapCache(c)
+	}
+	for i, c := range h.l1d {
+		m["L1D"+string(rune('0'+i))] = snapCache(c)
+	}
+	for i, c := range h.l2 {
+		m["L2"+string(rune('0'+i))] = snapCache(c)
+	}
+	for i, c := range h.l2i {
+		m["L2I"+string(rune('0'+i))] = snapCache(c)
+	}
+	if h.l4 != nil {
+		m["L4"] = snapCache(h.l4)
+	}
+	return m
+}
+
+// equivConfigs is the hierarchy matrix the batched kernels must match the
+// scalar path on: every policy, way-partitioning, a fully-associative
+// level, split L2s, and both L4 victim modes.
+func equivConfigs() map[string]HierarchyConfig {
+	withPolicy := func(p Policy) HierarchyConfig {
+		cfg := tinyHierarchy(2, nil)
+		cfg.L1I.Policy, cfg.L1D.Policy, cfg.L2.Policy, cfg.L3.Policy = p, p, p, p
+		return cfg
+	}
+	l4 := &Config{Size: 32 << 10, BlockSize: 64, Assoc: 4, Seed: 7}
+	cfgs := map[string]HierarchyConfig{
+		"lru":    withPolicy(LRU),
+		"fifo":   withPolicy(FIFO),
+		"random": withPolicy(Random),
+		"l4":     tinyHierarchy(2, l4),
+	}
+	aw := tinyHierarchy(2, nil)
+	aw.L3.AllocWays = 3
+	cfgs["allocways"] = aw
+	fa := tinyHierarchy(2, nil)
+	fa.L3.Assoc = 0 // fully-associative shared L3
+	cfgs["fullyassoc"] = fa
+	sp := tinyHierarchy(2, l4)
+	sp.SplitL2 = true
+	cfgs["splitl2"] = sp
+	fm := tinyHierarchy(1, l4)
+	fm.L4FillOnMiss = true
+	cfgs["l4fillonmiss"] = fm
+	return cfgs
+}
+
+// TestBatchedHierarchyEquivalence drains the same trace through the scalar
+// path and through AccessBatch at several batch sizes, requiring identical
+// HitLevel sequences and bit-identical end state.
+func TestBatchedHierarchyEquivalence(t *testing.T) {
+	tr := batchEquivTrace(42, 20000, 4)
+	for name, cfg := range equivConfigs() {
+		t.Run(name, func(t *testing.T) {
+			ref := NewHierarchy(cfg)
+			refLevels := make([]HitLevel, 0, len(tr))
+			for _, a := range tr {
+				refLevels = append(refLevels, ref.Access(a))
+			}
+			refSnap := snapHierarchy(ref)
+
+			for _, bs := range []int{1, 3, 64, 1000, len(tr)} {
+				h := NewHierarchy(cfg)
+				levels := make([]HitLevel, 0, len(tr))
+				for lo := 0; lo < len(tr); lo += bs {
+					hi := lo + bs
+					if hi > len(tr) {
+						hi = len(tr)
+					}
+					levels = h.AccessBatch(tr[lo:hi], levels)
+				}
+				if !reflect.DeepEqual(levels, refLevels) {
+					t.Fatalf("batch size %d: HitLevel sequence diverges from scalar", bs)
+				}
+				if got := snapHierarchy(h); !reflect.DeepEqual(got, refSnap) {
+					t.Fatalf("batch size %d: internal state diverges from scalar", bs)
+				}
+			}
+		})
+	}
+}
+
+// TestDrainBatchedAdapterEquivalence checks Drain's two entry points: a
+// zero-copy Shared view (BatchStream fast path) and a scalar generator
+// wrapped by trace.Batched both match the per-access reference.
+func TestDrainBatchedAdapterEquivalence(t *testing.T) {
+	tr := batchEquivTrace(7, 8000, 2)
+	cfg := tinyHierarchy(2, &Config{Size: 32 << 10, BlockSize: 64, Assoc: 4})
+
+	ref := NewHierarchy(cfg)
+	for _, a := range tr {
+		ref.Access(a)
+	}
+	refSnap := snapHierarchy(ref)
+
+	viaView := NewHierarchy(cfg)
+	viaView.Drain(trace.NewShared(tr).View())
+	if !reflect.DeepEqual(snapHierarchy(viaView), refSnap) {
+		t.Fatal("Drain(Shared view) diverges from scalar replay")
+	}
+
+	viaAdapter := NewHierarchy(cfg)
+	i := 0
+	gen := trace.FuncStream(func(a *trace.Access) bool {
+		if i >= len(tr) {
+			return false
+		}
+		*a = tr[i]
+		i++
+		return true
+	})
+	viaAdapter.DrainBatch(trace.Batched(gen))
+	if !reflect.DeepEqual(snapHierarchy(viaAdapter), refSnap) {
+		t.Fatal("DrainBatch(Batched adapter) diverges from scalar replay")
+	}
+}
+
+// TestCacheAccessBatchEquivalence checks the single-cache kernel against
+// Access per covered block, including the returned hit count.
+func TestCacheAccessBatchEquivalence(t *testing.T) {
+	tr := batchEquivTrace(99, 12000, 1)
+	cfgs := map[string]Config{
+		"lru":       {Size: 8 << 10, BlockSize: 64, Assoc: 4},
+		"fifo":      {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: FIFO},
+		"random":    {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: Random, Seed: 3},
+		"allocways": {Size: 8 << 10, BlockSize: 64, Assoc: 8, AllocWays: 5},
+		"fa":        {Size: 8 << 10, BlockSize: 64, Assoc: 0},
+	}
+	// Both sides probe a chunk and then fill its missing blocks through the
+	// identical helper, so the only difference under test is the probe
+	// kernel itself (AccessBatch vs an Access loop).
+	fillChunk := func(c *Cache, chunk []trace.Access) {
+		for _, a := range chunk {
+			size := uint64(a.Size)
+			if size == 0 {
+				size = 1
+			}
+			first := c.BlockAddr(a.Addr)
+			last := c.BlockAddr(a.Addr + size - 1)
+			for b := first; b <= last; b++ {
+				if !c.Contains(b) {
+					c.Fill(b, a.Seg, a.Kind == trace.Write)
+				}
+			}
+		}
+	}
+	const chunk = 512
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			ref := New(cfg)
+			var refHits int64
+			for lo := 0; lo < len(tr); lo += chunk {
+				hi := min(lo+chunk, len(tr))
+				for _, a := range tr[lo:hi] {
+					size := uint64(a.Size)
+					if size == 0 {
+						size = 1
+					}
+					first := ref.BlockAddr(a.Addr)
+					last := ref.BlockAddr(a.Addr + size - 1)
+					for b := first; b <= last; b++ {
+						if ref.Access(b, a.Seg, a.Kind) {
+							refHits++
+						}
+					}
+				}
+				fillChunk(ref, tr[lo:hi])
+			}
+
+			got := New(cfg)
+			var gotHits int64
+			for lo := 0; lo < len(tr); lo += chunk {
+				hi := min(lo+chunk, len(tr))
+				gotHits += got.AccessBatch(tr[lo:hi])
+				fillChunk(got, tr[lo:hi])
+			}
+
+			if gotHits != refHits {
+				t.Fatalf("hit count: batched %d, scalar %d", gotHits, refHits)
+			}
+			if !reflect.DeepEqual(snapCache(got), snapCache(ref)) {
+				t.Fatal("internal state diverges from scalar probing")
+			}
+			if ref.Stats.TotalHits() == 0 || ref.Stats.TotalMisses() == 0 {
+				t.Fatal("degenerate trace: want both hits and misses")
+			}
+		})
+	}
+}
+
+// TestMultiSimEquivalence drives N differently-shaped hierarchies through
+// one MultiSim pass and requires each to end bit-identical to draining it
+// alone — the single-decode sweep must not change any result.
+func TestMultiSimEquivalence(t *testing.T) {
+	tr := batchEquivTrace(1234, 15000, 4)
+	sh := trace.NewShared(tr)
+
+	cfgs := make([]HierarchyConfig, 0, 6)
+	for i := 0; i < 6; i++ {
+		cfg := tinyHierarchy(2, nil)
+		cfg.L3.Size = int64(8+4*i) << 10
+		if i%2 == 1 {
+			cfg.L3.Policy = FIFO
+		}
+		if i == 3 {
+			cfg.L3.AllocWays = 3
+		}
+		cfgs = append(cfgs, cfg)
+	}
+
+	refs := make([]map[string]any, len(cfgs))
+	for i, cfg := range cfgs {
+		h := NewHierarchy(cfg)
+		h.DrainBatch(sh.View())
+		refs[i] = snapHierarchy(h)
+	}
+
+	hs := make([]*Hierarchy, len(cfgs))
+	for i, cfg := range cfgs {
+		hs[i] = NewHierarchy(cfg)
+	}
+	NewMultiSim(hs...).Drain(sh.View())
+	for i, h := range hs {
+		if !reflect.DeepEqual(snapHierarchy(h), refs[i]) {
+			t.Fatalf("config %d: MultiSim result diverges from independent drain", i)
+		}
+	}
+}

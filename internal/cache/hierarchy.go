@@ -78,6 +78,16 @@ type Hierarchy struct {
 	l3           *Cache
 	l4           *Cache
 
+	// Thread-indexed routing tables, precomputed at construction so the hot
+	// kernels replace the per-access core division (coreFor) with one load:
+	// dataL1/dataL2 route loads and stores, fetchL1/fetchL2 route
+	// instruction fetches (fetchL2 differs from dataL2 only under SplitL2).
+	dataL1, dataL2   [256]*Cache
+	fetchL1, fetchL2 [256]*Cache
+	// l1Shift is the shared L1 block shift (L1-I and L1-D block sizes are
+	// validated equal), hoisted out of the batch loop.
+	l1Shift uint
+
 	// MemReads counts demand fetches that reached main memory; MemWrites
 	// counts dirty writebacks that reached main memory. Together they are
 	// the DRAM traffic the L4 is designed to filter (Figure 13).
@@ -156,6 +166,18 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		}
 	}
 	h.l3.OnEvict = h.onL3Evict
+	h.l1Shift = h.l1d[0].blockShift
+	for t := 0; t < 256; t++ {
+		core := h.coreFor(uint8(t))
+		h.dataL1[t] = h.l1d[core]
+		h.fetchL1[t] = h.l1i[core]
+		h.dataL2[t] = h.l2[core]
+		if cfg.SplitL2 {
+			h.fetchL2[t] = h.l2i[core]
+		} else {
+			h.fetchL2[t] = h.l2[core]
+		}
+	}
 	return h
 }
 
@@ -211,56 +233,174 @@ func (h *Hierarchy) coreFor(thread uint8) int {
 // blocks are split (each covered block is one probe, matching a banked
 // cache servicing an unaligned reference).
 func (h *Hierarchy) Access(a trace.Access) HitLevel {
-	core := h.coreFor(a.Thread)
-	l1 := h.l1d[core]
+	l1, l2 := h.dataL1[a.Thread], h.dataL2[a.Thread]
 	if a.Kind == trace.Fetch {
-		l1 = h.l1i[core]
+		l1, l2 = h.fetchL1[a.Thread], h.fetchL2[a.Thread]
 	}
 	size := uint64(a.Size)
 	if size == 0 {
 		size = 1
 	}
-	first := l1.BlockAddr(a.Addr)
-	last := l1.BlockAddr(a.Addr + size - 1)
+	first := a.Addr >> h.l1Shift
+	last := (a.Addr + size - 1) >> h.l1Shift
 	deepest := HitL1
 	for b := first; b <= last; b++ {
-		if lvl := h.accessBlock(core, l1, b<<l1.BlockShift(), a.Seg, a.Kind); lvl > deepest {
+		if lvl := h.accessBlock(l1, l2, b<<h.l1Shift, a.Seg, a.Kind); lvl > deepest {
 			deepest = lvl
 		}
 	}
 	return deepest
 }
 
-// Drain runs an entire stream through the hierarchy.
+// Drain runs an entire stream through the hierarchy. Streams that also
+// implement trace.BatchStream (Shared views, slice streams) are drained
+// through the batched kernel.
 func (h *Hierarchy) Drain(s trace.Stream) {
+	if bs, ok := s.(trace.BatchStream); ok {
+		h.DrainBatch(bs)
+		return
+	}
 	var a trace.Access
 	for s.Next(&a) {
 		h.Access(a)
 	}
 }
 
+// DrainBatch runs an entire batched stream through the hierarchy. Each
+// batch is consumed before the next NextBatch call, honoring the
+// trace.BatchStream subslice lifetime contract.
+func (h *Hierarchy) DrainBatch(bs trace.BatchStream) {
+	for {
+		b := bs.NextBatch()
+		if len(b) == 0 {
+			return
+		}
+		h.AccessBatch(b, nil)
+	}
+}
+
+// AccessBatch runs every access of batch through the hierarchy — the
+// batched replay kernel. It is observationally identical to calling Access
+// per element (same probe order, same stats, same fills and evictions), but
+// hoists the block shift and the thread-to-cache routing out of the loop and
+// inlines the L1 probe over the SoA tag array, so the dominant L1-hit case
+// costs a table load, one set scan, and two counter increments.
+//
+// When levels is non-nil the servicing level of each access is appended to
+// it and the extended slice returned (pass a cap-sized slice to avoid
+// growth); a nil levels skips that bookkeeping entirely. The batch itself is
+// read-only — it may be a zero-copy window of a shared immutable trace.
+func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLevel {
+	shift := h.l1Shift
+	n := len(batch)
+	for i := 0; i < n; i++ {
+		// Value copy: loading fields through &batch[i] would force the
+		// compiler to re-read them after every store to cache metadata
+		// (conservative aliasing); a local copy keeps them in registers.
+		a := batch[i]
+		var l1, l2 *Cache
+		if a.Kind == trace.Fetch {
+			l1, l2 = h.fetchL1[a.Thread], h.fetchL2[a.Thread]
+		} else {
+			l1, l2 = h.dataL1[a.Thread], h.dataL2[a.Thread]
+		}
+		size := uint64(a.Size)
+		if size == 0 {
+			size = 1
+		}
+		first := a.Addr >> shift
+		last := (a.Addr + size - 1) >> shift
+		// Mask/clamp the array indices once so every stats increment below
+		// is bounds-check free (generators only emit in-range values; the
+		// clamp branch never fires and predicts perfectly, unlike a mod).
+		seg, kind := a.Seg&3, a.Kind
+		if kind >= trace.NumKinds {
+			kind = 0
+		}
+		deepest := HitL1
+		for b := first; b <= last; b++ {
+			// Inline L1 probe (the set-associative fast path; fully-
+			// associative L1s take the generic method). The line-buffer
+			// check first: fetch runs and stack bursts reference the same
+			// block back-to-back, skipping the set scan entirely.
+			hit := false
+			if b == l1.lastBlock {
+				idx := l1.lastIdx
+				if kind == trace.Write {
+					l1.meta[idx] |= metaDirty
+				}
+				if l1.isLRU {
+					l1.clock++
+					l1.stamps[idx] = l1.clock
+				}
+				hit = true
+			} else if l1.assoc != 0 {
+				base := l1.setBase(b)
+				tags := l1.tags[base : base+l1.assoc]
+				for w := range tags {
+					if tags[w] == b {
+						idx := base + w
+						if kind == trace.Write {
+							l1.meta[idx] |= metaDirty
+						}
+						if l1.isLRU {
+							l1.clock++
+							l1.stamps[idx] = l1.clock
+						}
+						l1.lastBlock, l1.lastIdx = b, int32(idx)
+						hit = true
+						break
+					}
+				}
+			} else {
+				hit = l1.touch(b, kind == trace.Write)
+			}
+			if hit {
+				l1.Stats.Hits[seg][kind]++
+				continue
+			}
+			l1.Stats.Misses[seg][kind]++
+			if lvl := h.missPath(l1, l2, b<<shift, seg, kind); lvl > deepest {
+				deepest = lvl
+			}
+		}
+		if levels != nil {
+			levels = append(levels, deepest)
+		}
+	}
+	return levels
+}
+
 // accessBlock probes the levels in order and performs the fill cascade,
 // returning the servicing level.
-func (h *Hierarchy) accessBlock(core int, l1 *Cache, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
-	l2 := h.l2[core]
-	if h.cfg.SplitL2 && kind == trace.Fetch {
-		l2 = h.l2i[core]
-	}
+func (h *Hierarchy) accessBlock(l1, l2 *Cache, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
 	if l1.Access(l1.BlockAddr(byteAddr), seg, kind) {
 		return HitL1
 	}
+	return h.missPath(l1, l2, byteAddr, seg, kind)
+}
+
+// missPath services an access that already missed (and recorded its miss)
+// in l1: it probes L2/L3/L4 in order and performs the fill cascade,
+// returning the servicing level. Probes call touch directly and record
+// stats inline, skipping the Access wrapper frame per level.
+func (h *Hierarchy) missPath(l1, l2 *Cache, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
+	write := kind == trace.Write
 	level := HitL2
-	hitL2 := l2.Access(l2.BlockAddr(byteAddr), seg, kind)
+	hitL2 := l2.touch(l2.BlockAddr(byteAddr), write)
+	l2.Stats.record(seg, kind, hitL2)
 	if !hitL2 {
 		level = HitL3
-		hitL3 := h.l3.Access(h.l3.BlockAddr(byteAddr), seg, kind)
+		hitL3 := h.l3.touch(h.l3.BlockAddr(byteAddr), write)
+		h.l3.Stats.record(seg, kind, hitL3)
 		if !hitL3 {
 			hitL4 := false
 			if h.l4 != nil {
 				// Memory-side cache: its lookup proceeds in parallel
 				// with memory scheduling (§IV-C); functionally we only
 				// need hit/miss.
-				hitL4 = h.l4.Access(h.l4.BlockAddr(byteAddr), seg, kind)
+				hitL4 = h.l4.touch(h.l4.BlockAddr(byteAddr), write)
+				h.l4.Stats.record(seg, kind, hitL4)
 			}
 			if hitL4 {
 				level = HitL4
@@ -271,16 +411,18 @@ func (h *Hierarchy) accessBlock(core int, l1 *Cache, byteAddr uint64, seg trace.
 					h.l4.Fill(h.l4.BlockAddr(byteAddr), seg, false)
 				}
 			}
-			// Fill the L3 (evictions flow to the L4 victim path).
-			h.l3.Fill(h.l3.BlockAddr(byteAddr), seg, false)
+			// Fill the L3 (evictions flow to the L4 victim path). The
+			// probe above just established absence, so the fills below
+			// take the no-rescan path.
+			h.l3.fillAbsent(h.l3.BlockAddr(byteAddr), seg, false)
 		}
 		// Fill the L2; dirty victims write back into the L3.
-		if ev, ok := l2.Fill(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
+		if ev, ok := l2.fillAbsent(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
 			h.writeback(h.l3, ev.BlockAddr<<l2.BlockShift(), ev.Seg)
 		}
 	}
 	// Fill the L1; dirty victims write back into the L2.
-	if ev, ok := l1.Fill(l1.BlockAddr(byteAddr), seg, kind == trace.Write); ok && ev.Dirty {
+	if ev, ok := l1.fillAbsent(l1.BlockAddr(byteAddr), seg, kind == trace.Write); ok && ev.Dirty {
 		h.writeback(l2, ev.BlockAddr<<l1.BlockShift(), ev.Seg)
 	}
 	return level
@@ -306,9 +448,9 @@ func (h *Hierarchy) InstallPrefetch(core int, byteAddr uint64, seg trace.Segment
 			h.PrefetchMemReads++
 			h.MemReads++
 		}
-		h.l3.Fill(h.l3.BlockAddr(byteAddr), seg, false)
+		h.l3.fillAbsent(h.l3.BlockAddr(byteAddr), seg, false)
 	}
-	if ev, ok := l2.Fill(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
+	if ev, ok := l2.fillAbsent(l2.BlockAddr(byteAddr), seg, false); ok && ev.Dirty {
 		h.writeback(h.l3, ev.BlockAddr<<l2.BlockShift(), ev.Seg)
 	}
 }
@@ -321,7 +463,7 @@ func (h *Hierarchy) writeback(lower *Cache, byteAddr uint64, seg trace.Segment) 
 		return
 	}
 	lower.Stats.WritebackFills++
-	lower.Fill(block, seg, true)
+	lower.fillAbsent(block, seg, true)
 }
 
 // aggregate sums stats across a slice of per-core caches.

@@ -1,0 +1,54 @@
+package cache
+
+import "searchmem/internal/trace"
+
+// MultiSim advances N independent hierarchies over one trace in a single
+// pass: each decoded batch is replayed through every hierarchy before the
+// next batch is fetched. Capacity/associativity sweeps evaluate many
+// configurations over the same memoized trace; draining them one-by-one
+// streams the full recording (hundreds of MiB) from DRAM once per
+// configuration, while MultiSim streams it once total — each batch (128 KiB
+// of accesses) stays CPU-cache-resident while all N hierarchies consume it.
+//
+// Determinism: each hierarchy is an independent state machine that observes
+// exactly the access sequence a standalone Drain would deliver, in the same
+// order — the batch boundaries only decide when the shared stream is
+// decoded, never what each hierarchy sees. Results are therefore
+// bit-identical to N separate drains regardless of N, batch size, or the
+// order hierarchies appear in the slice.
+//
+// MultiSim is not safe for concurrent use (neither are its hierarchies).
+type MultiSim struct {
+	hs []*Hierarchy
+}
+
+// NewMultiSim builds a driver over the given hierarchies. The slice is
+// retained; it must not be mutated afterwards.
+func NewMultiSim(hs ...*Hierarchy) *MultiSim {
+	return &MultiSim{hs: hs}
+}
+
+// Hierarchies returns the driven hierarchies in drive order.
+func (m *MultiSim) Hierarchies() []*Hierarchy { return m.hs }
+
+// DrainSlice replays one batch through every hierarchy. The batch is
+// read-only (it may be a zero-copy window of a shared immutable trace) and
+// fully consumed before return, honoring the trace.BatchStream contract.
+func (m *MultiSim) DrainSlice(batch []trace.Access) {
+	for _, h := range m.hs {
+		h.AccessBatch(batch, nil)
+	}
+}
+
+// Drain replays an entire batched stream through every hierarchy,
+// single-pass: the stream is decoded once per batch, not once per
+// hierarchy.
+func (m *MultiSim) Drain(bs trace.BatchStream) {
+	for {
+		b := bs.NextBatch()
+		if len(b) == 0 {
+			return
+		}
+		m.DrainSlice(b)
+	}
+}

@@ -101,8 +101,22 @@ func distBucket(d int64) int {
 	return b
 }
 
-// Drain consumes an entire stream.
+// Drain consumes an entire stream. Streams that also implement
+// trace.BatchStream (Shared views, slice streams) are consumed in batches,
+// skipping the per-access interface dispatch; the observation sequence is
+// identical either way.
 func (s *StackDist) Drain(st trace.Stream) {
+	if bs, ok := st.(trace.BatchStream); ok {
+		for {
+			b := bs.NextBatch()
+			if len(b) == 0 {
+				return
+			}
+			for i := range b {
+				s.Observe(b[i])
+			}
+		}
+	}
 	var a trace.Access
 	for st.Next(&a) {
 		s.Observe(a)

@@ -41,9 +41,12 @@ type l4Point struct {
 }
 
 // sweepL4 simulates the direct-mapped victim L4 at each capacity behind a
-// 23 MiB-paper L3 (the rebalanced design of §IV-B). The sweep fans out
-// across workers (every point replays the same recording) and the result is
-// memoized per associativity, so Figures 13 and 14 share one simulation.
+// 23 MiB-paper L3 (the rebalanced design of §IV-B). The capacities differ
+// only in L4 geometry, so contiguous shards of the sweep run through the
+// single-pass MeasureMulti kernel (one trace decode per shard, all its
+// hierarchies advanced per batch) and shards fan out across workers. The
+// result is memoized per associativity, so Figures 13 and 14 share one
+// simulation.
 func sweepL4(c *Context, assoc int) []l4Point {
 	c.curveMu.Lock()
 	defer c.curveMu.Unlock()
@@ -52,20 +55,24 @@ func sweepL4(c *Context, assoc int) []l4Point {
 		return cached.([]l4Point)
 	}
 	o := c.Opts
-	sweep := c.Sweep()
-	out := runPoints(c, 0, len(fig13Capacities), func(i int) l4Point {
+	base := workload.MeasureConfig{
+		Platform: c.PLT1().ScaleCaches(workload.SweepScale),
+		Cores:    min(o.Threads, 8), SMTWays: 2,
+		Threads:        min(o.Threads, 16),
+		L3Size:         workload.SimUnits(23 << 20),
+		L4Assoc:        assoc,
+		Budget:         o.Budget * 2,
+		Seed:           o.Seed,
+		WarmupFraction: 1.0,
+	}
+	mcs := make([]workload.MeasureConfig, len(fig13Capacities))
+	for i, mb := range fig13Capacities {
+		mcs[i] = base
+		mcs[i].L4Size = workload.SimUnits(mb << 20)
+	}
+	out := make([]l4Point, len(mcs))
+	for i, m := range measureMultiSharded(c, c.Sweep(), mcs) {
 		mb := fig13Capacities[i]
-		m := workload.Measure(sweep, workload.MeasureConfig{
-			Platform: c.PLT1().ScaleCaches(workload.SweepScale),
-			Cores:    min(o.Threads, 8), SMTWays: 2,
-			Threads:        min(o.Threads, 16),
-			L3Size:         workload.SimUnits(23 << 20),
-			L4Size:         workload.SimUnits(mb << 20),
-			L4Assoc:        assoc,
-			Budget:         o.Budget * 2,
-			Seed:           o.Seed,
-			WarmupFraction: 1.0,
-		})
 		p := l4Point{capMiB: mb, hitRate: m.L4HitRate, instr: m.Instructions}
 		for seg := trace.Segment(0); seg < trace.NumSegments; seg++ {
 			p.segHits[seg] = m.L4.SegHits(seg)
@@ -77,8 +84,8 @@ func sweepL4(c *Context, assoc int) []l4Point {
 		}
 		p.dramFilter = tr.DRAMFilterRate()
 		o.logf("fig13: L4 %d MiB-paper: hit %.2f filter %.2f", mb, p.hitRate, p.dramFilter)
-		return p
-	})
+		out[i] = p
+	}
 	c.curves[key] = out
 	return out
 }

@@ -81,12 +81,13 @@ type segProfileResult struct {
 }
 
 // segProfile synthesizes the capacity-sweep trace once (memoized in the
-// Replayer), then profiles each segment's stack distances from independent
-// read-only Views over the shared recording — one worker per segment under
-// Options.Parallel. Each segment's profiler sees exactly the subsequence it
-// would have seen in the serial single-pass loop, so the profile (and all
-// figures derived from it) is identical either way. Figures 6b and 6c share
-// the result via the context's curve cache.
+// Replayer), then profiles every segment's stack distances in one batched
+// pass over a read-only View of the shared recording: each decoded window
+// is routed access-by-access to the owning segment's profiler. A segment's
+// profiler sees exactly the subsequence a per-segment FilterSegment pass
+// would deliver, in the same order, so the profile is unchanged — but the
+// 4x re-decode of the trace (once per segment) is gone. Figures 6b and 6c
+// share the result via the context's curve cache.
 func segProfile(c *Context) (*segmentStackDists, int64) {
 	c.curveMu.Lock()
 	defer c.curveMu.Unlock()
@@ -99,13 +100,15 @@ func segProfile(c *Context) (*segmentStackDists, int64) {
 	l2eff := int64(o.Threads) * workload.SimUnits(256<<10)
 	sh, st := c.Sweep().Trace(o.Threads, o.Budget*4, o.Seed)
 	sds := newSegmentStackDists(l2eff)
-	profiles := runPoints(c, 0, int(trace.NumSegments), func(i int) *cache.StackDist {
-		sd := cache.NewStackDist(64)
-		sd.Drain(trace.FilterSegment(sh.View(), trace.Segment(i)))
-		return sd
-	})
-	for i, sd := range profiles {
-		sds.sds[i] = sd
+	v := sh.View()
+	for {
+		b := v.NextBatch()
+		if len(b) == 0 {
+			break
+		}
+		for i := range b {
+			sds.Observe(b[i])
+		}
 	}
 	c.curves[key] = segProfileResult{sds: sds, instr: st.Instructions}
 	return sds, st.Instructions

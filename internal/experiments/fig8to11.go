@@ -49,25 +49,25 @@ func catSweep(c *Context) (xsHit, xsAMAT, ysIPC []float64) {
 	o := c.Opts
 	threads := min(o.Threads, 16)
 	cores := (threads + 1) / 2
-	leaf := c.Leaf()
-	type catPoint struct{ hit, amat, ipc float64 }
-	// All points drive the shared leaf through identical replay keys (same
-	// warmup, same measured run), so parallel recording order matches serial.
-	pts := runPoints(c, 0, 10, func(i int) catPoint {
-		m := workload.Measure(leaf, workload.MeasureConfig{
-			Platform: c.PLT1(),
-			Cores:    cores, SMTWays: 2, Threads: threads,
-			L3Ways:         2 + 2*i,
-			Budget:         o.Budget * 2,
-			Seed:           o.Seed,
-			WarmupFraction: 1.5,
-		})
-		return catPoint{hit: m.L3HitRate, amat: m.AMATNS, ipc: m.IPC}
-	})
-	for _, p := range pts {
-		xsHit = append(xsHit, p.hit)
-		xsAMAT = append(xsAMAT, p.amat)
-		ysIPC = append(ysIPC, p.ipc)
+	// The ten way-allocations differ only in L3 partitioning, so they ride
+	// the single-pass MeasureMulti kernel: the shared leaf recording is
+	// decoded once per batch per shard instead of once per point.
+	base := workload.MeasureConfig{
+		Platform: c.PLT1(),
+		Cores:    cores, SMTWays: 2, Threads: threads,
+		Budget:         o.Budget * 2,
+		Seed:           o.Seed,
+		WarmupFraction: 1.5,
+	}
+	mcs := make([]workload.MeasureConfig, 10)
+	for i := range mcs {
+		mcs[i] = base
+		mcs[i].L3Ways = 2 + 2*i
+	}
+	for _, m := range measureMultiSharded(c, c.Leaf(), mcs) {
+		xsHit = append(xsHit, m.L3HitRate)
+		xsAMAT = append(xsAMAT, m.AMATNS)
+		ysIPC = append(ysIPC, m.IPC)
 	}
 	return
 }

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"searchmem/internal/workload"
 )
 
 // This file is the deterministic parallel sweep engine (DESIGN.md §10).
@@ -61,34 +63,92 @@ func runPoints[T any](c *Context, maxWorkers, n int, point func(i int) T) []T {
 		return out
 	}
 
-	panics := make([]any, n)
+	// Workers collect results (and panics) into worker-local slices merged
+	// after the barrier. Storing straight into out[i] from every worker
+	// false-shares cache lines whenever T is small — adjacent indices live
+	// on one line, and the work-stealing counter hands adjacent indices to
+	// different workers — which showed up as parallel sweeps barely pacing
+	// their serial equivalents. Collection order still never affects the
+	// result: each value lands in its own index slot at merge time.
+	type indexed struct {
+		i int
+		v T
+	}
+	type failure struct {
+		i int
+		r any
+	}
+	vals := make([][]indexed, workers)
+	fails := make([][]failure, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var locals []indexed
+			var panics []failure
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= n {
-					return
+					break
 				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panics[i] = r
+							panics = append(panics, failure{i: i, r: r})
 						}
 					}()
-					out[i] = point(i)
+					locals = append(locals, indexed{i: i, v: point(i)})
 				}()
 			}
-		}()
+			vals[w], fails[w] = locals, panics
+		}(w)
 	}
 	wg.Wait()
-	for i, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("sweep point %d: %v", i, p))
+	worst := failure{i: -1}
+	for _, fs := range fails {
+		for _, f := range fs {
+			if worst.i < 0 || f.i < worst.i {
+				worst = f
+			}
 		}
+	}
+	if worst.i >= 0 {
+		panic(fmt.Sprintf("sweep point %d: %v", worst.i, worst.r))
+	}
+	for _, vs := range vals {
+		for _, e := range vs {
+			out[e.i] = e.v
+		}
+	}
+	return out
+}
+
+// measureMultiSharded evaluates one MeasureConfig per index through
+// workload.MeasureMulti, sharding the list into contiguous groups across
+// the sweep workers. Each group simulates all its hierarchies in a single
+// pass over the shared recording — decoded once per batch, not once per
+// configuration — and groups replay concurrently under Options.Parallel.
+// The replay keys (all configs of a MeasureMulti call share them) are
+// pre-recorded serially, so recording order matches the serial engine and
+// results are byte-identical for any worker count.
+func measureMultiSharded(c *Context, r *workload.Replayer, mcs []workload.MeasureConfig) []workload.Metrics {
+	n := len(mcs)
+	if n == 0 {
+		return nil
+	}
+	workload.PreRecord(r, mcs[0])
+	workers := c.sweepWorkers(n, 0)
+	if workers <= 1 {
+		return workload.MeasureMulti(r, mcs)
+	}
+	parts := runPoints(c, 0, workers, func(w int) []workload.Metrics {
+		return workload.MeasureMulti(r, mcs[w*n/workers:(w+1)*n/workers])
+	})
+	out := make([]workload.Metrics, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out
 }

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BatchAlias enforces the batch-lifetime contract of trace.BatchStream
+// (DESIGN.md §11): the slice returned by NextBatch is a zero-copy window
+// into stream internals, valid only until the next NextBatch call. Reading
+// it in place — indexing, ranging, passing it down a call chain that
+// finishes before the next batch — is the intended use. *Retaining* it is
+// the bug class: returning it, storing it into a field, map or slice
+// element, capturing it in a composite literal, or appending the slice
+// itself as an element all keep an alias alive across the next NextBatch
+// call, after which its contents are silently rewritten.
+//
+// The check is a per-function taint walk: locals assigned from a call to a
+// method named NextBatch are batch windows, and the taint follows plain
+// rebinding and re-slicing (a subslice of a window is still the window).
+// Any other call result is a fresh value — append([]T(nil), b...) kills
+// the taint, which is also the prescribed fix.
+var BatchAlias = &Analyzer{
+	Name: "batchalias",
+	Doc:  "slices returned by NextBatch must not outlive the next NextBatch call: no returning, storing, or element-appending a batch window",
+	Run:  runBatchAlias,
+}
+
+func runBatchAlias(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBatchAliasing(pass, fd)
+		}
+	}
+}
+
+// isNextBatchCall reports whether expr calls a method named NextBatch.
+func isNextBatchCall(pass *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NextBatch" {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func checkBatchAliasing(pass *Pass, fd *ast.FuncDecl) {
+	fnName := fd.Name.Name
+	tainted := make(map[types.Object]bool)
+
+	// window unwraps re-slicing and parens: b[lo:hi] aliases the same
+	// backing window as b. Indexing is NOT unwrapped — b[i] is an element
+	// copy, which is free to escape.
+	window := func(expr ast.Expr) types.Object {
+		for {
+			switch e := expr.(type) {
+			case *ast.Ident:
+				obj := pass.ObjectOf(e)
+				if obj != nil && tainted[obj] {
+					return obj
+				}
+				return nil
+			case *ast.SliceExpr:
+				expr = e.X
+			case *ast.ParenExpr:
+				expr = e.X
+			default:
+				return nil
+			}
+		}
+	}
+
+	// checkComposite flags batch windows captured by a composite literal
+	// (struct field, slice/map element): the literal outlives the window.
+	// Nested literals are visited by the enclosing Inspect walk.
+	checkComposite := func(lit *ast.CompositeLit) {
+		for _, elt := range lit.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if obj := window(val); obj != nil {
+				pass.Reportf(val.Pos(), "%s captures NextBatch window %q in a composite literal; the batch is rewritten by the next NextBatch call — copy it first (append([]T(nil), %s...))",
+					fnName, obj.Name(), obj.Name())
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				switch {
+				case len(n.Rhs) == len(n.Lhs):
+					rhs = n.Rhs[i]
+				case i == 0 && len(n.Rhs) == 1:
+					rhs = n.Rhs[0] // comma-ok / multi-value call
+				default:
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.ObjectOf(id)
+					if obj == nil {
+						continue
+					}
+					switch {
+					case isNextBatchCall(pass, rhs), window(rhs) != nil:
+						tainted[obj] = true
+					default:
+						delete(tainted, obj) // any other call/value is fresh
+					}
+					continue
+				}
+				// Store through a field or index: the destination outlives
+				// the window regardless of what it belongs to.
+				if obj := window(rhs); obj != nil {
+					pass.Reportf(n.Pos(), "%s stores NextBatch window %q into %s; the batch is rewritten by the next NextBatch call — copy it first (append([]T(nil), %s...))",
+						fnName, obj.Name(), types.ExprString(lhs), obj.Name())
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) {
+					if obj := pass.ObjectOf(id); obj != nil &&
+						(isNextBatchCall(pass, n.Values[i]) || window(n.Values[i]) != nil) {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if obj := window(res); obj != nil {
+					pass.Reportf(n.Pos(), "%s returns NextBatch window %q, which is only valid until the next NextBatch call; return a copy (append([]T(nil), %s...))",
+						fnName, obj.Name(), obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n, "append") && n.Ellipsis == token.NoPos {
+				// append(dst, b) retains the window as an element;
+				// append(dst, b...) copies its contents and is the fix.
+				for _, arg := range n.Args[1:] {
+					if obj := window(arg); obj != nil {
+						pass.Reportf(arg.Pos(), "%s appends NextBatch window %q as an element, retaining it past the next NextBatch call; append a copy (append([]T(nil), %s...))",
+							fnName, obj.Name(), obj.Name())
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			checkComposite(n)
+		}
+		return true
+	})
+}

@@ -196,6 +196,7 @@ var Analyzers = []*Analyzer{
 	MapOrder,
 	FloatAcc,
 	AliasRet,
+	BatchAlias,
 }
 
 // ByName returns the analyzers matching the comma-separated names list, or

@@ -26,6 +26,13 @@ func (s *Shared) Len() int { return len(s.accesses) }
 // At returns the i-th access.
 func (s *Shared) At(i int) Access { return s.accesses[i] }
 
+// Slice returns the half-open window [lo, hi) of the trace without copying.
+// The returned slice aliases the immutable recording: it must be treated as
+// read-only (mutating it would corrupt every consumer of the trace) and its
+// capacity is clamped so appends cannot scribble past hi. The batched
+// replay path (workload.Replayer) cuts the recording into such windows.
+func (s *Shared) Slice(lo, hi int) []Access { return s.accesses[lo:hi:hi] }
+
 // View returns a new rewindable Stream over the shared buffer. Creating a
 // view is allocation-cheap (no copy); each view holds its own cursor, so
 // concurrent sweep points each take their own.
@@ -47,6 +54,23 @@ func (v *View) Next(a *Access) bool {
 	*a = v.s.accesses[v.pos]
 	v.pos++
 	return true
+}
+
+// NextBatch implements BatchStream: a zero-copy window of up to
+// DefaultBatchSize accesses over the shared immutable buffer. No copy is
+// made; the BatchStream lifetime contract applies (callers must not mutate
+// or retain the window past the next call).
+func (v *View) NextBatch() []Access {
+	if v.pos >= len(v.s.accesses) {
+		return nil
+	}
+	end := v.pos + DefaultBatchSize
+	if end > len(v.s.accesses) {
+		end = len(v.s.accesses)
+	}
+	out := v.s.accesses[v.pos:end:end]
+	v.pos = end
+	return out
 }
 
 // Rewind resets the cursor to the beginning of the trace.

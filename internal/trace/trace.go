@@ -108,6 +108,72 @@ type Stream interface {
 	Next(a *Access) bool
 }
 
+// BatchStream is the batched fast path over an access source: NextBatch
+// returns the next contiguous run of accesses, or an empty slice when the
+// stream is exhausted. Batching removes the per-access interface dispatch
+// and copy that dominate scalar replay (one dynamic call amortizes over
+// thousands of accesses), which is what makes the hierarchy's DrainBatch
+// kernel fast.
+//
+// Subslice lifetime contract: the returned slice is only valid until the
+// next NextBatch call and must be treated as read-only. Zero-copy
+// implementations (View) hand out windows of shared immutable storage and
+// buffered adapters (Batched) reuse one internal buffer, so callers must
+// neither mutate the batch nor retain it — copy what must outlive the call.
+// The searchlint batchalias analyzer mechanizes this rule.
+type BatchStream interface {
+	NextBatch() []Access
+}
+
+// DefaultBatchSize is the batch length handed out by the package's
+// BatchStream implementations: large enough to amortize dispatch, small
+// enough that a batch (128 KiB of Access values) stays cache-resident while
+// several simulated hierarchies consume it (cache.MultiSim).
+const DefaultBatchSize = 8192
+
+// Batched adapts a Stream to the batched interface. Streams that already
+// implement BatchStream (View, SliceStream) are returned as-is; generator
+// streams are wrapped in a buffered adapter that fills a reused
+// DefaultBatchSize buffer through scalar Next calls. The returned batches
+// obey the BatchStream lifetime contract (the adapter's buffer is reused).
+func Batched(s Stream) BatchStream {
+	if bs, ok := s.(BatchStream); ok {
+		return bs
+	}
+	return &bufferedBatch{s: s, buf: make([]Access, DefaultBatchSize)}
+}
+
+// bufferedBatch refills one reusable buffer from a scalar stream.
+type bufferedBatch struct {
+	s   Stream
+	buf []Access
+}
+
+// NextBatch implements BatchStream.
+func (b *bufferedBatch) NextBatch() []Access {
+	n := 0
+	for n < len(b.buf) && b.s.Next(&b.buf[n]) {
+		n++
+	}
+	return b.buf[:n]
+}
+
+// NextBatch implements BatchStream with a zero-copy window over the
+// underlying slice. The window shares storage with the stream, so the
+// BatchStream lifetime contract applies.
+func (s *SliceStream) NextBatch() []Access {
+	if s.pos >= len(s.accesses) {
+		return nil
+	}
+	end := s.pos + DefaultBatchSize
+	if end > len(s.accesses) {
+		end = len(s.accesses)
+	}
+	out := s.accesses[s.pos:end:end]
+	s.pos = end
+	return out
+}
+
 // SliceStream adapts an in-memory access slice to the Stream interface.
 type SliceStream struct {
 	accesses []Access

@@ -94,12 +94,9 @@ type Metrics struct {
 	Run          Stats
 }
 
-// Measure runs the workload against the configured hierarchy and reduces
-// the result through the calibrated core model.
-func Measure(r Runner, mc MeasureConfig) Metrics {
-	if mc.Threads <= 0 || mc.Cores <= 0 || mc.SMTWays <= 0 {
-		panic("workload: Measure needs positive cores/threads/SMT")
-	}
+// normalize applies MeasureConfig defaults in place (predictor sizing and
+// the warmup sentinel resolution).
+func (mc *MeasureConfig) normalize() {
 	if mc.PredictorBits == 0 {
 		mc.PredictorBits = 14
 	}
@@ -109,7 +106,11 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 	case mc.WarmupFraction < 0:
 		mc.WarmupFraction = 0 // NoWarmup: an explicit cold-start measurement
 	}
+}
 
+// buildHierarchy constructs the simulated hierarchy described by mc and
+// resolves the L4 timing parameters.
+func buildHierarchy(mc MeasureConfig) (h *cache.Hierarchy, l4Hit, l4Pen float64) {
 	var hcfg cache.HierarchyConfig
 	if mc.L3Size > 0 {
 		hcfg = mc.Platform.HierarchyWithL3Size(mc.Cores, mc.SMTWays, mc.L3Size)
@@ -117,7 +118,7 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 		hcfg = mc.Platform.Hierarchy(mc.Cores, mc.SMTWays, mc.L3Ways)
 	}
 	hcfg.SplitL2 = mc.SplitL2
-	l4Hit, l4Pen := mc.L4HitNS, mc.L4MissPenaltyNS
+	l4Hit, l4Pen = mc.L4HitNS, mc.L4MissPenaltyNS
 	if mc.L4Size > 0 {
 		assoc := mc.L4Assoc
 		if assoc == 0 {
@@ -136,7 +137,17 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 			l4Hit = 40
 		}
 	}
-	h := cache.NewHierarchy(hcfg)
+	return cache.NewHierarchy(hcfg), l4Hit, l4Pen
+}
+
+// Measure runs the workload against the configured hierarchy and reduces
+// the result through the calibrated core model.
+func Measure(r Runner, mc MeasureConfig) Metrics {
+	if mc.Threads <= 0 || mc.Cores <= 0 || mc.SMTWays <= 0 {
+		panic("workload: Measure needs positive cores/threads/SMT")
+	}
+	mc.normalize()
+	h, l4Hit, l4Pen := buildHierarchy(mc)
 
 	var engine *cpu.Engine
 	if mc.Prefetchers != nil {
@@ -168,6 +179,13 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 				mc.BranchObserver(t, mis)
 			}
 		},
+	}
+	// Without a prefetch engine or per-access observer, the hierarchy can
+	// consume the access stream through the batched kernel: bit-identical
+	// results (see TestBatchedHierarchyEquivalence), one interface call per
+	// window instead of per access.
+	if engine == nil && mc.AccessObserver == nil {
+		sinks.AccessBatch = func(b []trace.Access) { h.AccessBatch(b, nil) }
 	}
 
 	// Warmup, then reset statistics and measure.

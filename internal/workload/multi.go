@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+
+	"searchmem/internal/cache"
+	"searchmem/internal/cpu"
+	"searchmem/internal/trace"
+)
+
+// MeasureMulti measures many hierarchy configurations against one workload
+// run in a single pass: the access stream is decoded once per batch and
+// replayed through every hierarchy via cache.MultiSim, instead of once per
+// configuration. Results are identical to calling Measure per config (the
+// per-hierarchy access sequence is unchanged — see DESIGN.md §11); only
+// the trace decode and sink dispatch are shared. Capacity sweeps over
+// dozens of points are memory-bandwidth-bound on the recorded trace, so
+// sharing the decode is where the wall-clock goes.
+//
+// All configs must agree on Threads, Budget, Seed and WarmupFraction (they
+// share the run), and none may attach Prefetchers or observers (those need
+// the per-access scalar path); MeasureMulti panics otherwise. The runner
+// must reproduce the same event streams for the same (threads, budget,
+// seed) — in practice, wrap it in a Replayer.
+//
+// Branch predictors are deterministic functions of the branch stream, so
+// configs sharing a (PredictorBits, Cores, SMTWays) shape share one
+// predictor group: each distinct shape observes the stream once, however
+// many configurations use it.
+// PreRecord records the replay keys a Measure or MeasureMulti call with mc
+// will request — the warmup run first, then the measured run — without
+// replaying them. Parallel sweeps call this serially before fanning out, so
+// recording order (the only stateful part of a Replayer) is pinned to the
+// serial engine's regardless of worker scheduling.
+func PreRecord(r *Replayer, mc MeasureConfig) {
+	mc.normalize()
+	if warm := int64(float64(mc.Budget) * mc.WarmupFraction); warm > 0 {
+		r.Record(mc.Threads, warm, mc.Seed^0xbeef)
+	}
+	r.Record(mc.Threads, mc.Budget, mc.Seed)
+}
+
+func MeasureMulti(r Runner, mcs []MeasureConfig) []Metrics {
+	if len(mcs) == 0 {
+		return nil
+	}
+	cfgs := make([]MeasureConfig, len(mcs))
+	copy(cfgs, mcs)
+	for i := range cfgs {
+		mc := &cfgs[i]
+		if mc.Threads <= 0 || mc.Cores <= 0 || mc.SMTWays <= 0 {
+			panic("workload: MeasureMulti needs positive cores/threads/SMT")
+		}
+		if mc.Prefetchers != nil || mc.AccessObserver != nil || mc.BranchObserver != nil {
+			panic("workload: MeasureMulti does not support prefetchers or observers; use Measure")
+		}
+		mc.normalize()
+	}
+	base := cfgs[0]
+	for i, mc := range cfgs {
+		if mc.Threads != base.Threads || mc.Budget != base.Budget ||
+			mc.Seed != base.Seed || mc.WarmupFraction != base.WarmupFraction {
+			panic(fmt.Sprintf("workload: MeasureMulti config %d does not share threads/budget/seed/warmup with config 0", i))
+		}
+	}
+
+	n := len(cfgs)
+	hs := make([]*cache.Hierarchy, n)
+	l4Hit := make([]float64, n)
+	l4Pen := make([]float64, n)
+	for i := range cfgs {
+		hs[i], l4Hit[i], l4Pen[i] = buildHierarchy(cfgs[i])
+	}
+	ms := cache.NewMultiSim(hs...)
+
+	// One predictor group per distinct predictor shape, in config order.
+	type predKey struct {
+		bits       uint
+		cores, smt int
+	}
+	groups := make(map[predKey][]*cpu.PredictorStats)
+	order := make([]predKey, 0, n)
+	groupOf := make([]predKey, n)
+	for i, mc := range cfgs {
+		k := predKey{bits: mc.PredictorBits, cores: mc.Cores, smt: mc.SMTWays}
+		if _, ok := groups[k]; !ok {
+			preds := make([]*cpu.PredictorStats, mc.Cores)
+			for j := range preds {
+				preds[j] = &cpu.PredictorStats{P: cpu.NewGshare(mc.PredictorBits)}
+			}
+			groups[k] = preds
+			order = append(order, k)
+		}
+		groupOf[i] = k
+	}
+
+	sinks := Sinks{
+		// Batching-aware runners (the Replayer) deliver zero-copy windows
+		// straight into the single-pass MultiSim kernel; anything else
+		// falls back to the scalar fan-out, same per-hierarchy order.
+		AccessBatch: func(b []trace.Access) { ms.DrainSlice(b) },
+		Access: func(a trace.Access) {
+			for _, h := range hs {
+				h.Access(a)
+			}
+		},
+		Branch: func(t uint8, pc uint64, taken bool) {
+			for _, k := range order {
+				preds := groups[k]
+				preds[int(t)/k.smt%k.cores].Observe(cpu.Branch{PC: pc, Taken: taken})
+			}
+		},
+	}
+
+	// Warmup once, reset everything, then the measured run — the same
+	// phases Measure performs, shared across all configurations.
+	warm := int64(float64(base.Budget) * base.WarmupFraction)
+	if warm > 0 {
+		r.Run(base.Threads, warm, base.Seed^0xbeef, sinks)
+		for _, h := range hs {
+			h.ResetStats()
+		}
+		for _, k := range order {
+			for _, p := range groups[k] {
+				p.Predictions, p.Mispredicts = 0, 0
+			}
+		}
+	}
+	run := r.Run(base.Threads, base.Budget, base.Seed, sinks)
+
+	out := make([]Metrics, n)
+	for i := range cfgs {
+		out[i] = reduce(r, cfgs[i], hs[i], groups[groupOf[i]], run, l4Hit[i], l4Pen[i])
+	}
+	return out
+}

@@ -128,7 +128,13 @@ func (r *Replayer) record(key runKey) *recordedRun {
 
 // replay emits the recorded streams into s in their captured interleaving.
 // It only reads immutable state, so concurrent replays need no locking.
+// Consumers accepting batches get zero-copy windows of the recording; the
+// rest get the scalar per-access path.
 func (rec *recordedRun) replay(s Sinks) {
+	if s.AccessBatch != nil {
+		rec.replayBatched(s)
+		return
+	}
 	v := rec.shared.View()
 	var a trace.Access
 	var pos int64
@@ -150,6 +156,41 @@ func (rec *recordedRun) replay(s Sinks) {
 		b := rec.branches[bi]
 		if s.Branch != nil {
 			s.Branch(b.thread, b.pc, b.taken)
+		}
+	}
+}
+
+// replayBatched delivers the access stream as zero-copy windows of the
+// shared recording. Windows are split exactly at recorded branch anchors,
+// so the interleaving of the two event streams is identical to the scalar
+// replay — batching changes the transport, never the observable order.
+func (rec *recordedRun) replayBatched(s Sinks) {
+	n := rec.shared.Len()
+	pos, bi := 0, 0
+	for {
+		// Branches anchored at the current access position fire first,
+		// exactly as the scalar path fires them before the access at pos.
+		for bi < len(rec.branches) && rec.branches[bi].pos == int64(pos) {
+			b := rec.branches[bi]
+			if s.Branch != nil {
+				s.Branch(b.thread, b.pc, b.taken)
+			}
+			bi++
+		}
+		if pos >= n {
+			return
+		}
+		// Emit accesses up to the next branch anchor (or the end), in
+		// windows of at most DefaultBatchSize so consumers see bounded
+		// batches even from branch-free recordings.
+		end := n
+		if bi < len(rec.branches) && int(rec.branches[bi].pos) < end {
+			end = int(rec.branches[bi].pos)
+		}
+		for pos < end {
+			hi := min(pos+trace.DefaultBatchSize, end)
+			s.AccessBatch(rec.shared.Slice(pos, hi))
+			pos = hi
 		}
 	}
 }

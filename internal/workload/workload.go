@@ -15,6 +15,17 @@ import "searchmem/internal/trace"
 type Sinks struct {
 	// Access receives every memory access, interleaved across threads.
 	Access func(trace.Access)
+	// AccessBatch, when non-nil, lets a batching-aware runner deliver the
+	// access stream as read-only slices instead of one Access call per
+	// element. Each access is delivered exactly once, through one sink or
+	// the other: a runner that batches ignores Access, and a runner unaware
+	// of batching ignores AccessBatch (consumers wanting either transport
+	// set both). Slices follow the trace.BatchStream contract — they may be
+	// zero-copy windows of a shared recording, must not be mutated, and are
+	// only valid until the sink returns. The relative order of accesses and
+	// Branch events is preserved exactly: batch boundaries are split at
+	// every recorded branch position.
+	AccessBatch func(batch []trace.Access)
 	// Branch receives every resolved conditional branch with its thread.
 	Branch func(thread uint8, pc uint64, taken bool)
 }
