@@ -3,7 +3,10 @@ GO ?= go
 # artifact at fast scale).
 BENCHARGS ?=
 
-.PHONY: all build vet lint test race ci obs-demo bench
+.PHONY: all build vet lint test race ci obs-demo bench fuzz-smoke
+
+# Seconds of coverage-guided fuzzing per codec target in fuzz-smoke.
+FUZZTIME ?= 5s
 
 all: build
 
@@ -38,7 +41,16 @@ obs-demo:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x -timeout 45m $(BENCHARGS) . | tee bench_sweep.out
 	$(GO) run ./cmd/benchjson -o BENCH_sweep.json bench_sweep.out
-	$(GO) test -run '^$$' -bench 'BenchmarkSharedReplay|BenchmarkHierarchyAccess|BenchmarkMultiSim' -timeout 30m $(BENCHARGS) . | tee bench_kernel.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedReplay|BenchmarkCompressedDecode|BenchmarkHierarchyAccess|BenchmarkMultiSim' -timeout 30m $(BENCHARGS) . | tee bench_kernel.out
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_kernel.out
 
-ci: build lint test race
+# fuzz-smoke runs each trace-codec fuzz target briefly (seed corpus plus
+# $(FUZZTIME) of coverage-guided exploration per target). The contract under
+# test: decoders never panic and fail only with ErrBadTrace; valid streams
+# round-trip identically through the file and block codecs.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzFileCodecDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
+
+ci: build lint test race fuzz-smoke

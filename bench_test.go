@@ -11,6 +11,7 @@ package searchmem
 // cost. Custom metrics carry the reproduced headline numbers.
 
 import (
+	"os"
 	"sync"
 	"testing"
 
@@ -231,6 +232,75 @@ func BenchmarkSharedReplay(b *testing.B) {
 			}
 			done += len(batch)
 		}
+	})
+	_ = sink
+}
+
+// BenchmarkCompressedDecode measures the block-codec decode path against
+// the flat BenchmarkSharedReplay baseline: draining a trace.Compressed
+// recording (delta+varint blocks decoded into a reused window) into the
+// same no-op consumer, from RAM-resident blocks and from a spill file. The
+// acceptance bar for bounded-memory replay is batched decode within ~2x of
+// the flat batched path.
+func BenchmarkCompressedDecode(b *testing.B) {
+	tr := benchLeafTrace(b)
+	comp, err := trace.Compress(tr, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("compressed %d accesses to %d bytes (%.2f B/access, flat 16)",
+		comp.Len(), comp.StoredBytes(), float64(comp.StoredBytes())/float64(comp.Len()))
+	var sink uint64
+	drainBatched := func(b *testing.B, v *trace.CompressedView) {
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			batch := v.NextBatch()
+			if len(batch) == 0 {
+				if v.Err() != nil {
+					b.Fatal(v.Err())
+				}
+				v.Rewind()
+				continue
+			}
+			if rem := b.N - done; len(batch) > rem {
+				batch = batch[:rem]
+			}
+			for i := range batch {
+				sink += batch[i].Addr
+			}
+			done += len(batch)
+		}
+	}
+	b.Run("scalar", func(b *testing.B) {
+		v := comp.View()
+		var a trace.Access
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !v.Next(&a) {
+				v.Rewind()
+				v.Next(&a)
+			}
+			sink += a.Addr
+		}
+	})
+	b.Run("batched", func(b *testing.B) { drainBatched(b, comp.View()) })
+	b.Run("spilled", func(b *testing.B) {
+		f, err := os.CreateTemp(b.TempDir(), "bench-*.blk")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		w := trace.NewBlockWriter(0, f)
+		for _, a := range tr {
+			if err := w.Add(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sp, err := w.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainBatched(b, sp.View())
 	})
 	_ = sink
 }

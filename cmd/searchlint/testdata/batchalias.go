@@ -105,3 +105,57 @@ func ignoredGood(s *stream) []Access {
 	//lint:ignore batchalias fixture: single-batch stream, never advanced again
 	return b
 }
+
+// compressedView mirrors trace.CompressedView: unlike the zero-copy Shared
+// window, its NextBatch returns the *decode window itself*, physically
+// overwritten by the next call — retention is not just stale, it reads
+// rewritten memory. The analyzer keys on the method name, so the same rules
+// must hold for this shape.
+
+type compressedView struct {
+	win    []Access
+	winPos int
+	block  int
+}
+
+// NextBatch decodes the next block into the reused window, like
+// trace.CompressedView does.
+func (v *compressedView) NextBatch() []Access {
+	if v.block > 3 {
+		return nil
+	}
+	v.block++
+	v.win = v.win[:0]
+	for i := 0; i < 4; i++ {
+		v.win = append(v.win, Access{Addr: uint64(v.block*4 + i)})
+	}
+	return v.win
+}
+
+func compressedRetainBad(v *compressedView, h *holder) {
+	b := v.NextBatch()
+	h.batch = b // want `compressedRetainBad stores NextBatch window "b" into h\.batch`
+}
+
+func compressedCrossBlockBad(v *compressedView) []Access {
+	prev := v.NextBatch()
+	_ = v.NextBatch() // prev's storage is overwritten here
+	return prev       // want `compressedCrossBlockBad returns NextBatch window "prev"`
+}
+
+func compressedDrainGood(v *compressedView, sink func(Access)) {
+	for {
+		b := v.NextBatch()
+		if len(b) == 0 {
+			return
+		}
+		for i := range b {
+			sink(b[i]) // consuming within the window's lifetime is the contract
+		}
+	}
+}
+
+func compressedSnapshotGood(v *compressedView, h *holder) {
+	b := v.NextBatch()
+	h.batch = append(h.batch[:0], b...) // copying out survives the next decode
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"searchmem/internal/det"
 	"searchmem/internal/experiments"
 	"searchmem/internal/obs"
 )
@@ -40,6 +41,10 @@ func main() {
 
 		traceOut   = flag.String("trace", "", "write Chrome trace-event JSON of recorded spans to this file")
 		metricsOut = flag.String("metrics", "", "write metrics-registry snapshot JSON to this file and print serving stage summaries")
+
+		traceCompress = flag.Bool("trace-compress", false, "store workload recordings block-compressed (bounded replay memory; output is byte-identical)")
+		traceSpill    = flag.String("trace-spill", "", "with -trace-compress, spill finished blocks to unlinked temp files in this directory (use e.g. /tmp; bounds recording RSS too)")
+		traceBlock    = flag.Int("trace-block", 0, "accesses per compressed block (0 = default)")
 	)
 	flag.Parse()
 
@@ -72,6 +77,13 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Parallel = *parallel
+	opts.TraceCompress = *traceCompress
+	opts.TraceSpillDir = *traceSpill
+	opts.TraceBlockLen = *traceBlock
+	if *traceSpill != "" && !*traceCompress {
+		fmt.Fprintln(os.Stderr, "-trace-spill requires -trace-compress")
+		os.Exit(2)
+	}
 	if *verbose {
 		opts.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "# "+format+"\n", a...)
@@ -115,7 +127,11 @@ func main() {
 		}
 	}
 
+	if *traceCompress {
+		printStoreSummary(ctx)
+	}
 	if opts.Metrics != nil {
+		ctx.ReportTraceStores(opts.Metrics)
 		snap := opts.Metrics.Snapshot()
 		printServingStages(snap)
 		if err := writeMetrics(*metricsOut, snap); err != nil {
@@ -131,6 +147,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d traces to %s\n", len(traces), *traceOut)
+	}
+}
+
+// printStoreSummary reports trace-store footprints and process-memory
+// high-water marks on stderr. The process-memory gauges are environmental
+// (they vary run to run), so they go through a private registry that is
+// never exported — the -metrics file stays byte-identical for a fixed seed.
+func printStoreSummary(ctx *experiments.Context) {
+	stores := ctx.TraceStores()
+	fmt.Fprintln(os.Stderr, "# trace stores (compressed):")
+	for _, key := range det.SortedKeys(stores) {
+		st := stores[key]
+		loc := "ram"
+		if st.SpilledBytes > 0 {
+			loc = "spilled"
+		}
+		fmt.Fprintf(os.Stderr, "#   %-16s %d recordings, %d accesses, %d bytes stored (%s)\n",
+			key, st.Recordings, st.Accesses, st.StoredBytes, loc)
+	}
+	mem := obs.NewRegistry()
+	experiments.MemGauges(mem)
+	for _, g := range mem.Snapshot().Gauges {
+		fmt.Fprintf(os.Stderr, "#   %s = %.0f\n", g.Name, g.Value)
 	}
 }
 

@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -33,6 +34,18 @@ type Options struct {
 	// Rendered output is byte-identical to a serial run; only wall-clock and
 	// the interleaving of Logf progress lines change.
 	Parallel bool
+	// TraceCompress stores workload recordings block-compressed
+	// (delta+varint blocks, trace.Compressed) instead of flat, so replay
+	// memory stays bounded at paper-scale traces. Rendered output is
+	// byte-identical to flat storage (see DESIGN.md §12).
+	TraceCompress bool
+	// TraceSpillDir, when non-empty (and TraceCompress is set), spills
+	// finished compressed blocks to unlinked temp files in this directory,
+	// bounding even the recording phase's RSS to one encoding block.
+	TraceSpillDir string
+	// TraceBlockLen overrides the accesses-per-block geometry
+	// (0 = trace.DefaultBlockLen).
+	TraceBlockLen int
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
 	// Tracer, when non-nil, collects distributed traces from experiments
@@ -178,8 +191,64 @@ func (c *Context) runner(key string, build func() workload.SearchWorkload) *work
 	}
 	c.Opts.logf("building workload %s (shrink %d)...", key, c.Opts.Shrink)
 	r := workload.NewReplayer(build().Build())
+	if c.Opts.TraceCompress {
+		r.SetStore(workload.StoreConfig{
+			Compress: true,
+			BlockLen: c.Opts.TraceBlockLen,
+			SpillDir: c.Opts.TraceSpillDir,
+		})
+	}
 	c.rc.m[key] = r
 	return r
+}
+
+// TraceStores returns the recording-storage footprint of every built
+// runner, keyed by runner-cache key.
+func (c *Context) TraceStores() map[string]workload.StoreStats {
+	c.rc.mu.Lock()
+	defer c.rc.mu.Unlock()
+	out := make(map[string]workload.StoreStats, len(c.rc.m))
+	for key, r := range c.rc.m {
+		out[key] = r.StoreStats()
+	}
+	return out
+}
+
+// ReportTraceStores publishes per-runner recording-storage gauges into reg:
+// trace_store_accesses, trace_store_bytes, and trace_store_spilled_bytes,
+// labeled runner=<cache key>. The values are pure functions of the recorded
+// streams, so a registry holding only these stays byte-deterministic for a
+// fixed seed. Process-memory high-water gauges (nondeterministic) are
+// deliberately separate — see MemGauges.
+func (c *Context) ReportTraceStores(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	stores := c.TraceStores()
+	for _, key := range det.SortedKeys(stores) {
+		st := stores[key]
+		l := obs.L("runner", key)
+		reg.Gauge("trace_store_accesses", l).Set(float64(st.Accesses))
+		reg.Gauge("trace_store_bytes", l).Set(float64(st.StoredBytes))
+		reg.Gauge("trace_store_spilled_bytes", l).Set(float64(st.SpilledBytes))
+	}
+}
+
+// MemGauges publishes the Go runtime's memory counters into reg:
+// process_peak_sys_bytes (high-water of OS memory the runtime obtained —
+// the RSS proxy that bounded-memory replay is judged by) and
+// process_heap_inuse_bytes (live heap at the time of the call). These are
+// environmental, not deterministic; keep them out of registries whose
+// exports must be byte-identical across runs (cmd/searchsim routes them to
+// a separate stderr-only registry).
+func MemGauges(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	reg.Gauge("process_peak_sys_bytes").Set(float64(m.Sys))
+	reg.Gauge("process_heap_inuse_bytes").Set(float64(m.HeapInuse))
 }
 
 // Leaf returns the cached S1-leaf micro runner (replay-wrapped: repeated

@@ -100,7 +100,7 @@ func segProfile(c *Context) (*segmentStackDists, int64) {
 	l2eff := int64(o.Threads) * workload.SimUnits(256<<10)
 	sh, st := c.Sweep().Trace(o.Threads, o.Budget*4, o.Seed)
 	sds := newSegmentStackDists(l2eff)
-	v := sh.View()
+	v := sh.Cursor()
 	for {
 		b := v.NextBatch()
 		if len(b) == 0 {

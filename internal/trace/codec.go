@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Binary trace file format (little-endian, varint-compressed):
@@ -19,7 +20,11 @@ import (
 
 var magic = [4]byte{'S', 'M', 'T', 'R'}
 
-const codecVersion = 1
+const (
+	codecVersion = 1
+	// maxCodecThread is the largest thread id the 4-bit meta field holds.
+	maxCodecThread = 0x0f
+)
 
 // ErrBadTrace is returned when a trace file is malformed.
 var ErrBadTrace = errors.New("trace: malformed trace file")
@@ -42,12 +47,16 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw, buf: make([]byte, 0, 2*binary.MaxVarintLen64+2)}, nil
 }
 
-// Write appends one access record.
+// Write appends one access record. Accesses that the 8-bit meta field
+// cannot represent are rejected: Seg and Kind beyond their enum ranges, and
+// Thread >= 16 (the format packs the thread id into 4 bits; silently masking
+// it would alias another thread's delta chain and decode back with a
+// different thread id — Write→Read would not be identity).
 func (w *Writer) Write(a Access) error {
-	tid := a.Thread & 0x0f
-	if a.Seg >= NumSegments || a.Kind >= NumKinds {
+	if a.Seg >= NumSegments || a.Kind >= NumKinds || a.Thread > maxCodecThread {
 		return fmt.Errorf("trace: invalid access %v", a)
 	}
+	tid := a.Thread
 	meta := byte(a.Kind)<<6 | byte(a.Seg)<<4 | tid
 	delta := int64(a.Addr - w.last[tid][a.Seg])
 	w.last[tid][a.Seg] = a.Addr
@@ -106,9 +115,18 @@ func (r *Reader) Next(a *Access) bool {
 		r.err = err
 		return false
 	}
+	// A record started (meta byte read): from here on every failure —
+	// mid-record EOF, a varint overflowing 64 bits, an out-of-range field —
+	// is a malformed file, never a silent truncation. In particular the size
+	// is an unbounded uvarint on the wire but a uint16 in Access; narrowing
+	// without this check made a corrupt size decode to garbage modulo 65536.
 	size, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		r.err = fmt.Errorf("%w: truncated size", ErrBadTrace)
+		return false
+	}
+	if size > math.MaxUint16 {
+		r.err = fmt.Errorf("%w: size %d out of range", ErrBadTrace, size)
 		return false
 	}
 	delta, err := binary.ReadVarint(r.r)

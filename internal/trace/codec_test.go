@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -160,5 +161,88 @@ func TestWriterRejectsInvalid(t *testing.T) {
 	}
 	if err := w.Write(Access{Kind: Kind(9)}); err == nil {
 		t.Fatal("invalid kind accepted")
+	}
+}
+
+// TestWriterRejectsThreadOverflow is the regression test for the silent
+// `Thread & 0x0f` mask: an access with Thread >= 16 used to alias thread
+// Thread-16's delta chain and decode back with a different thread id.
+// The writer must reject it instead, and Write→Read must stay identity for
+// every representable thread.
+func TestWriterRejectsThreadOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Access{Addr: 0x1000, Size: 8, Seg: Heap, Kind: Read, Thread: 16}); err == nil {
+		t.Fatal("Thread=16 accepted; it cannot round-trip through the 4-bit meta field")
+	}
+	if err := w.Write(Access{Thread: 255, Size: 1}); err == nil {
+		t.Fatal("Thread=255 accepted")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("rejected writes counted: Count = %d", w.Count())
+	}
+	// The boundary thread 15 must still round-trip exactly.
+	in := []Access{
+		{Addr: 0x10, Size: 1, Seg: Heap, Kind: Read, Thread: 15},
+		{Addr: 0x20, Size: 2, Seg: Heap, Kind: Write, Thread: 0},
+		{Addr: 0x18, Size: 4, Seg: Heap, Kind: Read, Thread: 15},
+	}
+	out := roundTrip(t, in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestReaderRejectsOversizeSize is the regression test for the silent
+// uint16(size) narrowing: a record whose size uvarint exceeds 65535 must
+// fail with ErrBadTrace instead of decoding to size modulo 65536.
+func TestReaderRejectsOversizeSize(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Access{Addr: 0x40, Size: 8, Seg: Heap, Kind: Read})
+	w.Flush()
+	// Append a hand-built record whose size varint encodes 1<<20.
+	rec := []byte{byte(Read)<<6 | byte(Heap)<<4 | 0}
+	rec = binary.AppendUvarint(rec, 1<<20)
+	rec = binary.AppendVarint(rec, 64)
+	buf.Write(rec)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Access
+	if !r.Next(&a) {
+		t.Fatalf("first (valid) record not decoded: %v", r.Err())
+	}
+	if r.Next(&a) {
+		t.Fatalf("oversize record decoded silently as %+v", a)
+	}
+	if !errors.Is(r.Err(), ErrBadTrace) {
+		t.Fatalf("oversize size: Err = %v, want ErrBadTrace", r.Err())
+	}
+}
+
+// TestReaderRejectsVarintOverflow: a size varint overflowing 64 bits must
+// also surface as ErrBadTrace, not hang or decode.
+func TestReaderRejectsVarintOverflow(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	body := []byte{byte(Read)<<6 | byte(Heap)<<4 | 0}
+	body = append(body, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02) // 11-byte uvarint
+	buf.Write(body)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Access
+	if r.Next(&a) {
+		t.Fatal("overflowing varint decoded")
+	}
+	if !errors.Is(r.Err(), ErrBadTrace) {
+		t.Fatalf("varint overflow: Err = %v, want ErrBadTrace", r.Err())
 	}
 }

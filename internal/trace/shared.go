@@ -1,5 +1,35 @@
 package trace
 
+import "unsafe"
+
+// Recording is an immutable captured access trace that any number of
+// concurrent readers replay through independent cursors. Two stores
+// implement it: Shared (flat 16 B/access, zero-copy windows, fastest) and
+// Compressed (delta+varint blocks decoded into a reused window, bounded
+// memory — see block.go). The workload Replayer records into one or the
+// other; every consumer downstream sees only this interface.
+type Recording interface {
+	// Len returns the number of accesses in the recording.
+	Len() int
+	// Cursor returns a fresh independent read cursor at the start.
+	Cursor() Cursor
+	// StoredBytes returns the bytes the recording occupies (flat in-memory
+	// size for Shared; encoded size — possibly on disk — for Compressed).
+	StoredBytes() int64
+}
+
+// Cursor reads a Recording from the beginning through either the scalar
+// Stream or the batched BatchStream interface; the two share one position,
+// so mixing them on a single cursor is coherent. Batches follow the
+// BatchStream lifetime contract. A cursor is not safe for concurrent use;
+// distinct cursors over one Recording are independent.
+type Cursor interface {
+	Stream
+	BatchStream
+	Rewind()
+	Len() int
+}
+
 // Shared is an immutable in-memory access trace intended to be synthesized
 // once and then replayed read-only by many consumers — the memoization layer
 // behind the capacity-sweep experiments, which evaluate dozens of cache
@@ -37,6 +67,14 @@ func (s *Shared) Slice(lo, hi int) []Access { return s.accesses[lo:hi:hi] }
 // view is allocation-cheap (no copy); each view holds its own cursor, so
 // concurrent sweep points each take their own.
 func (s *Shared) View() *View { return &View{s: s} }
+
+// Cursor implements Recording.
+func (s *Shared) Cursor() Cursor { return s.View() }
+
+// StoredBytes implements Recording: the flat in-memory footprint.
+func (s *Shared) StoredBytes() int64 {
+	return int64(len(s.accesses)) * int64(unsafe.Sizeof(Access{}))
+}
 
 // View is a cursor over a Shared trace. It implements Stream and can be
 // rewound to the start for another pass. A View is not safe for concurrent

@@ -1,26 +1,37 @@
 package workload
 
 import (
+	"cmp"
+	"fmt"
+	"os"
 	"sync"
 
+	"searchmem/internal/det"
 	"searchmem/internal/trace"
 )
 
 // Replayer wraps a Runner and memoizes its event streams: the first Run for
 // a given (threads, budget, seed) key executes the inner runner once and
 // records the full interleaved access and branch streams into an immutable
-// trace.Shared; every later Run with the same key replays the recording
+// trace.Recording; every later Run with the same key replays the recording
 // read-only. This is the paper's own methodology made explicit — one trace
 // capture, many simulator replays — and is what lets the parallel sweep
 // engine fan dozens of cache configurations across goroutines without
 // touching the stateful workload (SearchRunner sessions and engine caches
 // are not concurrent-safe).
 //
+// Recordings are stored flat (trace.Shared, 16 B/access) by default, or
+// block-compressed (trace.Compressed, delta+varint, ~2-4 B/access, with
+// optional spill-to-disk of finished blocks) when SetStore enables
+// compression. Replayed streams are identical either way — only the storage
+// transport changes (see TestReplayerCompressedIdentical).
+//
 // Concurrency and determinism contract:
 //   - Recording is serialized under a mutex; the inner runner only ever
 //     executes single-threaded.
 //   - Replays are read-only and may run concurrently from any number of
-//     goroutines.
+//     goroutines (compressed replays decode into per-cursor windows; spill
+//     reads are offset-addressed).
 //   - The inner runner's state evolves with each recording, so the trace a
 //     key maps to depends on the order in which *distinct* keys are first
 //     requested. Concurrent sweep points must therefore either request an
@@ -34,8 +45,27 @@ import (
 type Replayer struct {
 	inner Runner
 
-	mu   sync.Mutex
-	runs map[runKey]*recordedRun
+	mu     sync.Mutex
+	runs   map[runKey]*recordedRun
+	store  StoreConfig
+	spills []*os.File
+}
+
+// StoreConfig selects how a Replayer stores its recordings.
+type StoreConfig struct {
+	// Compress stores recordings block-compressed (trace.Compressed)
+	// instead of flat (trace.Shared). Replay output is identical; decode
+	// happens block-by-block into a reused window, so replay RSS no longer
+	// scales with trace length.
+	Compress bool
+	// BlockLen is the accesses-per-block geometry (0 = trace.DefaultBlockLen).
+	BlockLen int
+	// SpillDir, when non-empty, writes finished blocks to an unlinked
+	// temporary file in this directory as they are sealed, so even the
+	// recording phase holds only one encoding block in memory. Empty keeps
+	// compressed blocks in RAM (still ~4-8x smaller than flat). Ignored
+	// unless Compress is set.
+	SpillDir string
 }
 
 // runKey identifies one memoized recording.
@@ -47,7 +77,7 @@ type runKey struct {
 
 // recordedRun is one immutable captured execution.
 type recordedRun struct {
-	shared   *trace.Shared
+	store    trace.Recording
 	branches []recordedBranch
 	stats    Stats
 }
@@ -62,9 +92,38 @@ type recordedBranch struct {
 	taken  bool
 }
 
-// NewReplayer wraps inner with a memoizing replay layer.
+// NewReplayer wraps inner with a memoizing replay layer (flat storage; call
+// SetStore before the first recording to compress).
 func NewReplayer(inner Runner) *Replayer {
 	return &Replayer{inner: inner, runs: make(map[runKey]*recordedRun)}
+}
+
+// SetStore selects the recording storage. It must be called before the
+// first recording (changing representation mid-flight would make identical
+// keys replay through different transports) and panics otherwise.
+func (r *Replayer) SetStore(cfg StoreConfig) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.runs) > 0 {
+		panic("workload: SetStore after recordings exist")
+	}
+	r.store = cfg
+}
+
+// Close releases spill files opened for compressed recordings. The files
+// are unlinked at creation, so this only drops file descriptors early; a
+// collected Replayer releases them via the runtime finalizer anyway.
+func (r *Replayer) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, f := range r.spills {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.spills = nil
+	return first
 }
 
 // Name implements Runner.
@@ -89,12 +148,12 @@ func (r *Replayer) Record(threads int, instrBudget int64, seed uint64) {
 	r.record(runKey{threads: threads, budget: instrBudget, seed: seed})
 }
 
-// Trace returns the memoized shared access trace and run stats for a key,
-// recording it first if needed. The returned trace is immutable; consumers
-// take independent Views over it.
-func (r *Replayer) Trace(threads int, instrBudget int64, seed uint64) (*trace.Shared, Stats) {
+// Trace returns the memoized recording and run stats for a key, recording
+// it first if needed. The recording is immutable; consumers take
+// independent Cursors over it.
+func (r *Replayer) Trace(threads int, instrBudget int64, seed uint64) (trace.Recording, Stats) {
 	rec := r.record(runKey{threads: threads, budget: instrBudget, seed: seed})
-	return rec.shared, rec.stats
+	return rec.store, rec.stats
 }
 
 // Recordings returns how many distinct keys have been recorded (test hook).
@@ -102,6 +161,47 @@ func (r *Replayer) Recordings() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.runs)
+}
+
+// StoreStats summarizes recorded trace storage across all keys.
+type StoreStats struct {
+	// Recordings is the number of memoized keys.
+	Recordings int
+	// Accesses is the total recorded access count.
+	Accesses int64
+	// StoredBytes is what the recordings occupy (flat in-memory bytes, or
+	// encoded compressed bytes — see SpilledBytes for the on-disk subset).
+	StoredBytes int64
+	// SpilledBytes is the subset of StoredBytes resident in spill files
+	// rather than RAM.
+	SpilledBytes int64
+}
+
+// StoreStats reports the current recording storage footprint. Keys are
+// walked in sorted order so the sums accumulate deterministically (the
+// values are commutative, but the repo's maporder invariant is blanket).
+func (r *Replayer) StoreStats() StoreStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := det.SortedKeysFunc(r.runs, func(a, b runKey) int {
+		if c := cmp.Compare(a.threads, b.threads); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.budget, b.budget); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.seed, b.seed)
+	})
+	st := StoreStats{Recordings: len(r.runs)}
+	for _, k := range keys {
+		rec := r.runs[k]
+		st.Accesses += int64(rec.store.Len())
+		st.StoredBytes += rec.store.StoredBytes()
+		if c, ok := rec.store.(*trace.Compressed); ok && c.Spilled() {
+			st.SpilledBytes += c.StoredBytes()
+		}
+	}
+	return st
 }
 
 // record returns the memoized run for key, executing the inner runner under
@@ -113,33 +213,75 @@ func (r *Replayer) record(key runKey) *recordedRun {
 	if rec, ok := r.runs[key]; ok {
 		return rec
 	}
-	var accesses []trace.Access
 	var branches []recordedBranch
-	st := r.inner.Run(key.threads, key.budget, key.seed, Sinks{
-		Access: func(a trace.Access) { accesses = append(accesses, a) },
-		Branch: func(thread uint8, pc uint64, taken bool) {
-			branches = append(branches, recordedBranch{pc: pc, pos: int64(len(accesses)), thread: thread, taken: taken})
-		},
-	})
-	rec := &recordedRun{shared: trace.NewShared(accesses), branches: branches, stats: st}
+	var store trace.Recording
+	var st Stats
+	if r.store.Compress {
+		var spill trace.SpillFile
+		if r.store.SpillDir != "" {
+			f, err := os.CreateTemp(r.store.SpillDir, "searchmem-trace-*.blk")
+			if err != nil {
+				panic(fmt.Sprintf("workload: creating trace spill file: %v", err))
+			}
+			// Unlink immediately: the blocks live exactly as long as the
+			// open descriptor, so crashed or finished runs leave no litter.
+			os.Remove(f.Name())
+			r.spills = append(r.spills, f)
+			spill = f
+		}
+		bw := trace.NewBlockWriter(r.store.BlockLen, spill)
+		var werr error
+		st = r.inner.Run(key.threads, key.budget, key.seed, Sinks{
+			Access: func(a trace.Access) {
+				if err := bw.Add(a); err != nil && werr == nil {
+					werr = err
+				}
+			},
+			Branch: func(thread uint8, pc uint64, taken bool) {
+				branches = append(branches, recordedBranch{pc: pc, pos: int64(bw.Count()), thread: thread, taken: taken})
+			},
+		})
+		c, err := bw.Finish()
+		if werr != nil {
+			err = werr
+		}
+		if err != nil {
+			// Runner access streams are always representable (the block
+			// codec accepts any Thread), so this is spill I/O failing —
+			// an environmental error the Runner interface cannot return.
+			panic(fmt.Sprintf("workload: recording %s: %v", r.inner.Name(), err))
+		}
+		store = c
+	} else {
+		var accesses []trace.Access
+		st = r.inner.Run(key.threads, key.budget, key.seed, Sinks{
+			Access: func(a trace.Access) { accesses = append(accesses, a) },
+			Branch: func(thread uint8, pc uint64, taken bool) {
+				branches = append(branches, recordedBranch{pc: pc, pos: int64(len(accesses)), thread: thread, taken: taken})
+			},
+		})
+		store = trace.NewShared(accesses)
+	}
+	rec := &recordedRun{store: store, branches: branches, stats: st}
 	r.runs[key] = rec
 	return rec
 }
 
 // replay emits the recorded streams into s in their captured interleaving.
 // It only reads immutable state, so concurrent replays need no locking.
-// Consumers accepting batches get zero-copy windows of the recording; the
+// Consumers accepting batches get read-only windows of the recording
+// (zero-copy for flat storage, a reused decode window for compressed); the
 // rest get the scalar per-access path.
 func (rec *recordedRun) replay(s Sinks) {
 	if s.AccessBatch != nil {
 		rec.replayBatched(s)
 		return
 	}
-	v := rec.shared.View()
+	cur := rec.store.Cursor()
 	var a trace.Access
 	var pos int64
 	bi := 0
-	for v.Next(&a) {
+	for cur.Next(&a) {
 		for bi < len(rec.branches) && rec.branches[bi].pos == pos {
 			b := rec.branches[bi]
 			if s.Branch != nil {
@@ -152,6 +294,7 @@ func (rec *recordedRun) replay(s Sinks) {
 		}
 		pos++
 	}
+	rec.checkDrained(cur, int(pos))
 	for ; bi < len(rec.branches); bi++ {
 		b := rec.branches[bi]
 		if s.Branch != nil {
@@ -160,13 +303,18 @@ func (rec *recordedRun) replay(s Sinks) {
 	}
 }
 
-// replayBatched delivers the access stream as zero-copy windows of the
-// shared recording. Windows are split exactly at recorded branch anchors,
-// so the interleaving of the two event streams is identical to the scalar
-// replay — batching changes the transport, never the observable order.
+// replayBatched delivers the access stream as read-only windows of the
+// recording. Windows are split exactly at recorded branch anchors, so the
+// interleaving of the two event streams is identical to the scalar replay —
+// batching changes the transport, never the observable order. Windows are
+// additionally capped at trace.DefaultBatchSize so consumers see bounded
+// batches regardless of the store's window geometry.
 func (rec *recordedRun) replayBatched(s Sinks) {
-	n := rec.shared.Len()
+	cur := rec.store.Cursor()
+	n := rec.store.Len()
 	pos, bi := 0, 0
+	var win []trace.Access
+	winStart := 0
 	for {
 		// Branches anchored at the current access position fire first,
 		// exactly as the scalar path fires them before the access at pos.
@@ -180,17 +328,38 @@ func (rec *recordedRun) replayBatched(s Sinks) {
 		if pos >= n {
 			return
 		}
-		// Emit accesses up to the next branch anchor (or the end), in
-		// windows of at most DefaultBatchSize so consumers see bounded
-		// batches even from branch-free recordings.
-		end := n
+		if winStart+len(win) <= pos {
+			win = cur.NextBatch()
+			winStart = pos
+			if len(win) == 0 {
+				rec.checkDrained(cur, pos)
+				return
+			}
+		}
+		// Emit accesses up to the next branch anchor (or the window end),
+		// in sub-windows of at most DefaultBatchSize.
+		end := winStart + len(win)
 		if bi < len(rec.branches) && int(rec.branches[bi].pos) < end {
 			end = int(rec.branches[bi].pos)
 		}
 		for pos < end {
 			hi := min(pos+trace.DefaultBatchSize, end)
-			s.AccessBatch(rec.shared.Slice(pos, hi))
+			s.AccessBatch(win[pos-winStart : hi-winStart : hi-winStart])
 			pos = hi
 		}
 	}
+}
+
+// checkDrained panics if a cursor ended before the recording's full length:
+// recordings are immutable, so a short replay can only mean storage
+// corruption (e.g. an unreadable spill block), which must not silently
+// truncate an experiment.
+func (rec *recordedRun) checkDrained(cur trace.Cursor, emitted int) {
+	if emitted == rec.store.Len() {
+		return
+	}
+	if ce, ok := cur.(interface{ Err() error }); ok && ce.Err() != nil {
+		panic(fmt.Sprintf("workload: replay truncated at access %d of %d: %v", emitted, rec.store.Len(), ce.Err()))
+	}
+	panic(fmt.Sprintf("workload: replay truncated at access %d of %d", emitted, rec.store.Len()))
 }

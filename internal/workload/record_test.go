@@ -122,13 +122,13 @@ func TestReplayerTraceView(t *testing.T) {
 	var replayed []event
 	rep.Run(2, 8, 5, captureSinks(&replayed))
 	var v trace.Access
-	view := sh.View()
+	cur := sh.Cursor()
 	i := 0
-	for view.Next(&v) {
+	for cur.Next(&v) {
 		i++
 	}
 	if i != 8 {
-		t.Fatalf("view drained %d accesses, want 8", i)
+		t.Fatalf("cursor drained %d accesses, want 8", i)
 	}
 }
 
@@ -166,6 +166,138 @@ func TestReplayerConcurrentReplays(t *testing.T) {
 			t.Fatalf("goroutine %d replayed a different stream", g)
 		}
 	}
+}
+
+// replayEvents captures the full merged event stream of one replay through
+// the given sink shape (scalar or batched).
+func replayEvents(t *testing.T, rep *Replayer, batched bool, threads int, budget int64, seed uint64) []event {
+	t.Helper()
+	var out []event
+	s := captureSinks(&out)
+	if batched {
+		s.AccessBatch = func(b []trace.Access) {
+			for _, a := range b {
+				out = append(out, event{fmt.Sprintf("A %s", a)})
+			}
+		}
+	}
+	rep.Run(threads, budget, seed, s)
+	return out
+}
+
+// TestReplayerCompressedIdentical is the transport-equivalence proof at the
+// replay layer: a compressed Replayer (in-memory blocks, several block
+// geometries, and the spill-to-disk path) must emit exactly the event
+// stream a flat Replayer emits — scalar and batched, including the
+// access/branch interleaving.
+func TestReplayerCompressedIdentical(t *testing.T) {
+	const threads, budget, seed = 3, 500, 21
+	flat := NewReplayer(&scriptedRunner{})
+	wantScalar := replayEvents(t, flat, false, threads, budget, seed)
+	wantBatched := replayEvents(t, flat, true, threads, budget, seed)
+	if len(wantScalar) == 0 || len(wantScalar) != len(wantBatched) {
+		t.Fatalf("degenerate reference streams: %d scalar vs %d batched", len(wantScalar), len(wantBatched))
+	}
+	for i := range wantScalar {
+		if wantScalar[i] != wantBatched[i] {
+			t.Fatalf("flat scalar/batched diverge at %d", i)
+		}
+	}
+
+	cases := []StoreConfig{
+		{Compress: true},
+		{Compress: true, BlockLen: 1},
+		{Compress: true, BlockLen: 7},
+		{Compress: true, BlockLen: 100_000},
+	}
+	for _, cfg := range cases {
+		name := fmt.Sprintf("blockLen=%d", cfg.BlockLen)
+		rep := NewReplayer(&scriptedRunner{})
+		rep.SetStore(cfg)
+		for pass := 0; pass < 2; pass++ { // second pass replays the memo
+			for _, batched := range []bool{false, true} {
+				got := replayEvents(t, rep, batched, threads, budget, seed)
+				if len(got) != len(wantScalar) {
+					t.Fatalf("%s batched=%v pass %d: %d events, want %d", name, batched, pass, len(got), len(wantScalar))
+				}
+				for i := range got {
+					if got[i] != wantScalar[i] {
+						t.Fatalf("%s batched=%v pass %d: event %d = %q, want %q", name, batched, pass, i, got[i].s, wantScalar[i].s)
+					}
+				}
+			}
+		}
+		st := rep.StoreStats()
+		if st.Recordings != 1 || st.Accesses != budget || st.StoredBytes <= 0 {
+			t.Fatalf("%s: StoreStats = %+v", name, st)
+		}
+	}
+
+	// Spill-to-disk variant: same stream, bytes resident on disk.
+	rep := NewReplayer(&scriptedRunner{})
+	rep.SetStore(StoreConfig{Compress: true, BlockLen: 64, SpillDir: t.TempDir()})
+	defer rep.Close()
+	got := replayEvents(t, rep, true, threads, budget, seed)
+	for i := range got {
+		if got[i] != wantScalar[i] {
+			t.Fatalf("spill: event %d = %q, want %q", i, got[i].s, wantScalar[i].s)
+		}
+	}
+	st := rep.StoreStats()
+	if st.SpilledBytes == 0 || st.SpilledBytes != st.StoredBytes {
+		t.Fatalf("spill: StoreStats = %+v, want all bytes spilled", st)
+	}
+}
+
+// TestReplayerCompressedConcurrent replays one compressed (spilled)
+// recording from many goroutines; offset-addressed spill reads and
+// per-cursor decode windows make this race-free (meaningful under -race).
+func TestReplayerCompressedConcurrent(t *testing.T) {
+	rep := NewReplayer(&scriptedRunner{})
+	rep.SetStore(StoreConfig{Compress: true, BlockLen: 32, SpillDir: t.TempDir()})
+	defer rep.Close()
+	rep.Record(4, 200, 9)
+	var reference []event
+	rep.Run(4, 200, 9, captureSinks(&reference))
+
+	var wg sync.WaitGroup
+	diverged := make([]bool, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var got []event
+			rep.Run(4, 200, 9, captureSinks(&got))
+			if len(got) != len(reference) {
+				diverged[g] = true
+				return
+			}
+			for i := range got {
+				if got[i] != reference[i] {
+					diverged[g] = true
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, d := range diverged {
+		if d {
+			t.Fatalf("goroutine %d replayed a different stream", g)
+		}
+	}
+}
+
+// TestSetStoreAfterRecordingPanics pins the SetStore ordering contract.
+func TestSetStoreAfterRecordingPanics(t *testing.T) {
+	rep := NewReplayer(&scriptedRunner{})
+	rep.Record(1, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetStore after a recording did not panic")
+		}
+	}()
+	rep.SetStore(StoreConfig{Compress: true})
 }
 
 // countingRunner records each (budget, seed) Run call for warmup audits.
