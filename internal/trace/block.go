@@ -315,12 +315,15 @@ func (v *CompressedView) decodeBlock() bool {
 	win := v.win[:bm.count]
 	pos := 0
 	// Hot decode loop. A record is at most 1 (meta) + 1 (thread escape) +
-	// 3 (size uvarint, capped at MaxUint16) + 10 (delta svarint) bytes; when
-	// at least that much input remains, the unchecked fast path decodes the
-	// dominant 1-2 byte varint shapes without per-byte bounds tests. The
-	// tail of the block (and any corrupt input the guard can't vouch for)
-	// goes through the fully checked decodeRecordSlow.
-	const maxRecordLen = 15
+	// 10 (size uvarint) + 10 (delta svarint) bytes — the size value is capped
+	// at MaxUint16, but uvarintAt accepts non-canonical 10-byte encodings of
+	// small values, so the guard must budget the full varint width or the
+	// unchecked delta reads below can run past the block. When at least that
+	// much input remains, the fast path decodes the dominant 1-2 byte varint
+	// shapes without per-byte bounds tests. The tail of the block (and any
+	// corrupt input the guard can't vouch for) goes through the fully checked
+	// decodeRecordSlow.
+	const maxRecordLen = 22
 	packed := packedStore
 	for i := range win {
 		if len(data)-pos < maxRecordLen {

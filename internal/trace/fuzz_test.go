@@ -115,6 +115,13 @@ func FuzzBlockDecode(f *testing.F) {
 	f.Add([]byte{0x0f}, uint16(1))                                       // escape nibble, no thread byte
 	f.Add([]byte{0xc0, 0x00, 0x00}, uint16(1))                           // kind == 3
 	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f}, uint16(1))   // oversize size varint
+	// Non-canonical 10-byte size varint encoding zero, then a truncated
+	// delta: at 15 bytes this sat exactly on the old fast-path guard and
+	// drove the unchecked delta reads past the block (regression: the guard
+	// must budget the full 10-byte varint width, not the canonical 3 bytes).
+	f.Add([]byte{0x0f, 0x07,
+		0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x00,
+		0x80, 0x80, 0x80}, uint16(1))
 
 	f.Fuzz(func(t *testing.T, data []byte, count uint16) {
 		c := &Compressed{
