@@ -3,7 +3,7 @@ GO ?= go
 # artifact at fast scale).
 BENCHARGS ?=
 
-.PHONY: all build vet lint test race ci obs-demo bench fuzz-smoke
+.PHONY: all build vet lint lint-escape test race alloc-check ci obs-demo bench fuzz-smoke
 
 # Seconds of coverage-guided fuzzing per codec target in fuzz-smoke.
 FUZZTIME ?= 5s
@@ -21,11 +21,27 @@ vet:
 lint: vet
 	$(GO) run ./cmd/searchlint ./...
 
+# lint-escape cross-checks the hotalloc analyzer against the compiler's
+# escape analysis (DESIGN.md §13): compiler escapes inside //lint:hot-
+# reachable functions are diffed against the analyzer's verdicts.
+# Informational — disagreement is expected on cold/suppressed lines.
+lint-escape:
+	@tmp=$$(mktemp); trap 'rm -f $$tmp' EXIT; \
+	$(GO) build -gcflags=-m ./... 2> $$tmp; \
+	$(GO) run ./cmd/searchlint -escape $$tmp ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# alloc-check runs the AllocsPerRun == 0 oracles for the //lint:hot kernels
+# WITHOUT -race (race instrumentation allocates, so the tests build-tag
+# themselves out of `make race`). This is the dynamic backstop for the
+# static hotalloc analyzer.
+alloc-check:
+	$(GO) test -run ZeroAlloc ./internal/cache ./internal/trace ./internal/workload
 
 # obs-demo exercises the observability stack end to end: the fleetprof
 # experiment at fast scale with distributed-trace and metrics-registry
@@ -41,7 +57,7 @@ obs-demo:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchtime 1x -timeout 45m $(BENCHARGS) . | tee bench_sweep.out
 	$(GO) run ./cmd/benchjson -o BENCH_sweep.json bench_sweep.out
-	$(GO) test -run '^$$' -bench 'BenchmarkSharedReplay|BenchmarkCompressedDecode|BenchmarkHierarchyAccess|BenchmarkMultiSim' -timeout 30m $(BENCHARGS) . | tee bench_kernel.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSharedReplay|BenchmarkCompressedDecode|BenchmarkHierarchyAccess|BenchmarkMultiSim|BenchmarkReplayerReplay' -timeout 30m $(BENCHARGS) . | tee bench_kernel.out
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_kernel.out
 
 # fuzz-smoke runs each trace-codec fuzz target briefly (seed corpus plus
@@ -53,4 +69,4 @@ fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzBlockDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME)
 
-ci: build lint test race fuzz-smoke
+ci: build lint test race alloc-check fuzz-smoke

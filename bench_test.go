@@ -305,6 +305,69 @@ func BenchmarkCompressedDecode(b *testing.B) {
 	_ = sink
 }
 
+// benchReplayRunner is a cheap synthetic Runner for the Replayer transport
+// benchmark: the recording cost is irrelevant (paid once, outside the
+// timer); only the replay path is measured.
+type benchReplayRunner struct{}
+
+func (benchReplayRunner) Name() string        { return "bench-replay" }
+func (benchReplayRunner) MemOverlap() float64 { return 0 }
+
+func (benchReplayRunner) Run(threads int, budget int64, seed uint64, sk workload.Sinks) workload.Stats {
+	n := int(budget)
+	for i := 0; i < n; i++ {
+		if sk.Access != nil {
+			sk.Access(trace.Access{Addr: uint64(i)*64 + seed, Size: 8, Seg: trace.Heap, Thread: uint8(i % threads)})
+		}
+		if i%64 == 0 && sk.Branch != nil {
+			sk.Branch(uint8(i%threads), uint64(i)*4, i%128 == 0)
+		}
+	}
+	return workload.Stats{Instructions: budget * 4, Accesses: budget, Branches: budget / 64}
+}
+
+// BenchmarkReplayerReplay measures one full memoized replay through the
+// Replayer — the transport the sweep engine drives — including cursor
+// acquisition and batch splitting at branch positions. allocs/op is the
+// headline number: steady-state replay allocates nothing (the Replayer
+// keeps a single-slot cursor cache per recording, rewound on reuse; the
+// hotalloc analyzer and the ZeroAlloc oracles pin this, DESIGN.md §13).
+func BenchmarkReplayerReplay(b *testing.B) {
+	const accesses = 200_000
+	for _, tc := range []struct {
+		name  string
+		store *workload.StoreConfig
+	}{
+		{"flat", nil},
+		{"compressed", &workload.StoreConfig{Compress: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rep := workload.NewReplayer(benchReplayRunner{})
+			if tc.store != nil {
+				rep.SetStore(*tc.store)
+			}
+			var sink uint64
+			sinks := workload.Sinks{
+				AccessBatch: func(batch []trace.Access) {
+					for i := range batch {
+						sink += batch[i].Addr
+					}
+				},
+				Branch: func(t uint8, pc uint64, taken bool) { sink += pc },
+			}
+			rep.Run(2, accesses, 1, sinks) // record once, outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep.Run(2, accesses, 1, sinks)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/accesses, "ns/access")
+			_ = sink
+		})
+	}
+}
+
 // BenchmarkMultiSim measures a 8-configuration capacity sweep over one
 // shared trace: draining each hierarchy independently (the trace streams
 // from memory once per configuration) vs the single-pass MultiSim driver

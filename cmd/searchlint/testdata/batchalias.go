@@ -106,6 +106,79 @@ func ignoredGood(s *stream) []Access {
 	return b
 }
 
+// Interprocedural cases (PR 7): windows passed as arguments are tracked
+// through per-parameter summaries of static in-module callees, and a callee
+// returning its parameter propagates the taint back to the caller.
+
+var lastBatch []Access
+
+func globalStoreBad(s *stream) {
+	b := s.NextBatch()
+	lastBatch = b // want `globalStoreBad stores NextBatch window "b" into package-level variable lastBatch`
+}
+
+// retainInto stores its slice argument into a field: any window handed to
+// it is retained past the next NextBatch call.
+func retainInto(h *holder, b []Access) {
+	h.batch = b
+}
+
+func passToRetainerBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	retainInto(h, b) // want `passToRetainerBad passes NextBatch window "b" to retainInto, which stores it into h\.batch`
+}
+
+// stash forwards its argument to retainInto: summaries compose through
+// nested calls.
+func stash(h *holder, b []Access) {
+	retainInto(h, b)
+}
+
+func passTwoDeepBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	stash(h, b) // want `passTwoDeepBad passes NextBatch window "b" to stash, which passes it to retainInto, which stores it into h\.batch`
+}
+
+// identity returns its argument, so the caller's result is still the window.
+func identity(b []Access) []Access {
+	return b
+}
+
+func identityReturnBad(s *stream) []Access {
+	b := s.NextBatch()
+	return identity(b) // want `identityReturnBad returns NextBatch window "b" \(via identity\)`
+}
+
+func identityRebindBad(s *stream, h *holder) {
+	b := s.NextBatch()
+	alias := identity(b)
+	h.batch = alias // want `identityRebindBad stores NextBatch window "alias" into h\.batch`
+}
+
+// consume only reads elements: passing a window to it stays clean.
+func consume(b []Access) uint64 {
+	var sum uint64
+	for i := range b {
+		sum += b[i].Addr
+	}
+	return sum
+}
+
+func passToConsumerGood(s *stream) uint64 {
+	b := s.NextBatch()
+	return consume(b)
+}
+
+// copyOut element-copies its argument before storing: clean.
+func copyOut(h *holder, b []Access) {
+	h.batch = append(h.batch[:0], b...)
+}
+
+func passToCopierGood(s *stream, h *holder) {
+	b := s.NextBatch()
+	copyOut(h, b)
+}
+
 // compressedView mirrors trace.CompressedView: unlike the zero-copy Shared
 // window, its NextBatch returns the *decode window itself*, physically
 // overwritten by the next call — retention is not just stale, it reads

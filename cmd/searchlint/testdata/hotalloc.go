@@ -1,0 +1,209 @@
+// Fixture for the hotalloc analyzer: functions annotated //lint:hot, and
+// everything reachable from them through the call graph, must not allocate.
+// Direct allocation sites, interface boxing, closures, calls through
+// function values, and calls into allocating standard-library packages are
+// findings, each carrying the call chain from the hot root. Failure-exit
+// paths (conditional blocks ending in return, blocks ending in panic) are
+// exempt, and a //lint:ignore hotalloc directive on a call line fences off
+// the whole subtree behind that call.
+package hotalloc
+
+import "fmt"
+
+type item struct{ a, b uint64 }
+
+type table struct {
+	m map[uint64]uint64
+	s []item
+}
+
+// The acceptance case: an allocation three calls deep from the root is
+// flagged at the allocation site, with the full chain in the message.
+
+//lint:hot
+func hotRoot(t *table, xs []item) uint64 {
+	var sum uint64
+	for i := range xs {
+		sum += level1(t, xs[i].a)
+	}
+	return sum
+}
+
+func level1(t *table, k uint64) uint64 { return level2(t, k) }
+
+func level2(t *table, k uint64) uint64 { return level3(t, k) }
+
+func level3(t *table, k uint64) uint64 {
+	buf := make([]uint64, 4) // want `hot path \(hotRoot -> level1 -> level2 -> level3\): make allocates`
+	buf[0] = k
+	return buf[0]
+}
+
+// Direct allocation shapes inside a root.
+
+//lint:hot
+func hotAppend(t *table, x item) {
+	t.s = append(t.s, x) // want `hot path \(hotAppend\): append may grow its backing array`
+}
+
+//lint:hot
+func hotLiterals() int {
+	xs := []item{{a: 1}} // want `slice/map composite literal allocates`
+	return len(xs)
+}
+
+//lint:hot
+func hotNew() *item {
+	return new(item) // want `new allocates`
+}
+
+//lint:hot
+func hotAddr() *item {
+	return &item{a: 1} // want `taking the address of a composite literal allocates`
+}
+
+//lint:hot
+func hotMapStore(t *table, k uint64) {
+	t.m[k] = k // want `map assignment may allocate \(bucket growth\)`
+}
+
+//lint:hot
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//lint:hot
+func hotConv(s string) int {
+	bs := []byte(s) // want `string/\[\]byte conversion allocates a copy`
+	return len(bs)
+}
+
+//lint:hot
+func hotClosure(xs []item) func() int {
+	return func() int { return len(xs) } // want `function literal captures "xs"; the closure allocates`
+}
+
+//lint:hot
+func hotGo() {
+	go helperClean() // want `go statement allocates a goroutine`
+}
+
+func helperClean() {}
+
+// Boxing: a concrete, non-pointer-shaped argument passed to an interface
+// parameter is heap-boxed. Pointer arguments are not.
+
+func record(v any) { _ = v }
+
+//lint:hot
+func hotBox(k uint64) {
+	record(k) // want `passing uint64 argument as any boxes it on the heap`
+}
+
+//lint:hot
+func hotPtrGood(t *table) {
+	record(t) // *table fits the interface word: no finding
+}
+
+// Standard-library summaries: fmt allocates (and its variadic any boxes).
+
+//lint:hot
+func hotFmt(k uint64) string {
+	return fmt.Sprintf("%d", k) // want `calls fmt.Sprintf, which allocates` `passing uint64 argument as any boxes it on the heap`
+}
+
+// Calls that cannot be proven: function values and unimplemented interfaces.
+
+//lint:hot
+func hotDynamic(f func() int) int {
+	return f() // want `call through function value f cannot be proven allocation-free`
+}
+
+type opaque interface{ run() }
+
+//lint:hot
+func hotOpaque(o opaque) {
+	o.run() // want `interface call opaque\.run has no analyzed implementation and no safe summary`
+}
+
+// CHA: an interface call descends into every analyzed implementation; the
+// allocating one is flagged in its own body, chain included.
+
+type stepper interface{ step() int }
+
+type allocStep struct{ n []int }
+
+func (a *allocStep) step() int {
+	a.n = append(a.n, 1) // want `hot path \(hotIface -> \(\*allocStep\)\.step\): append may grow its backing array`
+	return len(a.n)
+}
+
+type cleanStep struct{ n int }
+
+func (c *cleanStep) step() int { c.n++; return c.n }
+
+//lint:hot
+func hotIface(s stepper) int {
+	return s.step()
+}
+
+// Failure-exit paths are exempt: the error branch leaves the kernel, so its
+// allocations run at most once per call, not per element.
+
+//lint:hot
+func hotColdPath(xs []item) (uint64, error) {
+	var sum uint64
+	for i := range xs {
+		if xs[i].a == 0 {
+			return 0, fmt.Errorf("zero addr at %d", i) // failure exit: no finding
+		}
+		sum += xs[i].a
+	}
+	return sum, nil
+}
+
+// Suppression: a justified ignore silences the finding, and on a call line
+// it also prunes the traversal into the callee.
+
+//lint:hot
+func hotSuppressed(t *table, x item) {
+	//lint:ignore hotalloc fixture: one-time warmup growth, pinned by the alloc oracle
+	t.s = append(t.s, x)
+}
+
+func allocsDeep() []item {
+	return make([]item, 8) // unreachable: the only call site below is fenced
+}
+
+//lint:hot
+func hotPruned() int {
+	//lint:ignore hotalloc fixture: adapter behind the batch interface, contractually cold
+	return len(allocsDeep())
+}
+
+// Plain struct values and arithmetic never allocate: no findings.
+
+//lint:hot
+func hotValueGood(xs []item) item {
+	var best item
+	for i := range xs {
+		if xs[i].a > best.a {
+			best = xs[i]
+		}
+	}
+	return item{a: best.a, b: best.b}
+}
+
+// Allocation outside any hot tree is not hotalloc's business.
+
+func coldHelperFree() []item {
+	return make([]item, 4)
+}
+
+// A directive naming an analyzer that does not exist suppresses nothing and
+// must say so (pseudo-analyzer lint).
+
+func staleDirective(t *table, x item) {
+	//lint:ignore hotallox renamed analyzer, silently inert before PR 7 // want `ignore directive names unknown analyzer "hotallox" and suppresses nothing`
+	t.s = append(t.s, x)
+}

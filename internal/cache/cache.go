@@ -200,6 +200,11 @@ func New(cfg Config) *Cache {
 	if cfg.Assoc == 0 {
 		c.faCap = blocks
 		c.faIndex = make(map[uint64]int32, blocks)
+		// faNodes never outgrows faCap (a fill appends only while every
+		// node is live and below capacity) and faFree holds at most every
+		// node, so full capacity up front keeps fills allocation-free.
+		c.faNodes = make([]faNode, 0, blocks)
+		c.faFree = make([]int32, 0, blocks)
 		c.faHead, c.faTail = -1, -1
 		return c
 	}
@@ -258,6 +263,8 @@ func (c *Cache) Access(block uint64, seg trace.Segment, kind trace.Kind) bool {
 // check out of the loop and inlines the set scan over the SoA tag array.
 // Fully-associative caches take the generic per-block path. The batch is
 // read-only (it may alias a shared immutable trace).
+//
+//lint:hot
 func (c *Cache) AccessBatch(batch []trace.Access) int64 {
 	shift := c.blockShift
 	var hits int64
@@ -435,6 +442,7 @@ func (c *Cache) fillAbsent(block uint64, seg trace.Segment, dirty bool) (evicted
 	c.meta[i] = packMeta(seg, dirty)
 	c.lastBlock, c.lastIdx = block, int32(i)
 	if ok && c.OnEvict != nil {
+		//lint:ignore hotalloc eviction hook: the hierarchy's handlers (back-invalidation, L4 victim fill) run on preallocated stores, pinned by the AllocsPerRun oracle
 		c.OnEvict(evicted)
 	}
 	return evicted, ok

@@ -269,6 +269,8 @@ func (h *Hierarchy) Drain(s trace.Stream) {
 // DrainBatch runs an entire batched stream through the hierarchy. Each
 // batch is consumed before the next NextBatch call, honoring the
 // trace.BatchStream subslice lifetime contract.
+//
+//lint:hot
 func (h *Hierarchy) DrainBatch(bs trace.BatchStream) {
 	for {
 		b := bs.NextBatch()
@@ -290,6 +292,8 @@ func (h *Hierarchy) DrainBatch(bs trace.BatchStream) {
 // it and the extended slice returned (pass a cap-sized slice to avoid
 // growth); a nil levels skips that bookkeeping entirely. The batch itself is
 // read-only — it may be a zero-copy window of a shared immutable trace.
+//
+//lint:hot
 func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLevel {
 	shift := h.l1Shift
 	n := len(batch)
@@ -365,6 +369,7 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 			}
 		}
 		if levels != nil {
+			//lint:ignore hotalloc documented contract: callers pass a cap-sized slice (see doc comment), so append never grows; pinned by the AllocsPerRun oracle
 			levels = append(levels, deepest)
 		}
 	}

@@ -43,6 +43,8 @@ func (m *MultiSim) DrainSlice(batch []trace.Access) {
 // Drain replays an entire batched stream through every hierarchy,
 // single-pass: the stream is decoded once per batch, not once per
 // hierarchy.
+//
+//lint:hot
 func (m *MultiSim) Drain(bs trace.BatchStream) {
 	for {
 		b := bs.NextBatch()

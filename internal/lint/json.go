@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiag is the machine-readable shape of one diagnostic, stable for CI
+// annotation tooling: field order, indentation, and path relativization are
+// all deterministic, so output is byte-for-byte reproducible.
+type jsonDiag struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// WriteJSON renders diags as an indented JSON array. File paths are made
+// relative to base when possible (base is the module root in the CLI), so
+// output does not leak absolute build paths and stays comparable across
+// machines.
+func WriteJSON(w io.Writer, diags []Diagnostic, base string) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		out = append(out, jsonDiag{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Chain:    d.Chain,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // keep "->" chains readable
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}

@@ -27,6 +27,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"searchmem/internal/det"
 )
 
 // An Analyzer checks one invariant over a type-checked package.
@@ -44,6 +46,9 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain is the hot call chain leading to the finding (root first),
+	// set by interprocedural analyzers; empty for per-function findings.
+	Chain []string
 }
 
 // String renders the diagnostic in the canonical file:line:col form.
@@ -56,6 +61,9 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Pkg      *Package
+	// Graph is the static call graph over every package of the Check run
+	// (not just Pkg), shared by all passes. See callgraph.go.
+	Graph *CallGraph
 
 	diags *[]Diagnostic
 }
@@ -66,6 +74,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportChain records a finding reached through a call chain (root first).
+// The rendered message is prefixed with the chain so the plain-text output
+// explains *why* the position is hot; the structured chain also rides the
+// diagnostic for machine-readable output.
+func (p *Pass) ReportChain(pos token.Pos, chain []string, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if len(chain) > 0 {
+		msg = fmt.Sprintf("hot path (%s): %s", strings.Join(chain, " -> "), msg)
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+		Chain:    chain,
 	})
 }
 
@@ -83,6 +108,7 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
+	pos       token.Position
 	file      string
 	line      int
 	analyzers map[string]bool
@@ -114,6 +140,7 @@ func parseIgnores(fset *token.FileSet, file *ast.File, diags *[]Diagnostic) []ig
 				continue
 			}
 			d := ignoreDirective{
+				pos:       pos,
 				file:      pos.Filename,
 				line:      pos.Line,
 				analyzers: make(map[string]bool),
@@ -143,13 +170,34 @@ func (d ignoreDirective) suppresses(diag Diagnostic) bool {
 func Check(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var raw []Diagnostic
 	var directives []ignoreDirective
+	graph := BuildCallGraph(fset, pkgs)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			directives = append(directives, parseIgnores(fset, f, &raw)...)
 		}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, diags: &raw}
+			pass := &Pass{Analyzer: a, Fset: fset, Pkg: pkg, Graph: graph, diags: &raw}
 			a.Run(pass)
+		}
+	}
+
+	// A directive naming an analyzer that does not exist suppresses nothing,
+	// silently — the classic rot path when analyzers are renamed. Validate
+	// against the full registry (not the selected subset, so running one
+	// analyzer does not flag directives aimed at the others).
+	known := map[string]bool{"lint": true}
+	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	for _, dir := range directives {
+		for _, n := range det.SortedKeys(dir.analyzers) {
+			if !known[n] {
+				raw = append(raw, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: "lint",
+					Message:  fmt.Sprintf("ignore directive names unknown analyzer %q and suppresses nothing", n),
+				})
+			}
 		}
 	}
 
@@ -197,6 +245,7 @@ var Analyzers = []*Analyzer{
 	FloatAcc,
 	AliasRet,
 	BatchAlias,
+	HotAlloc,
 }
 
 // ByName returns the analyzers matching the comma-separated names list, or

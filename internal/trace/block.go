@@ -34,7 +34,7 @@ import (
 // spill-to-disk and Rewind cheap (no chain state survives a block).
 type Compressed struct {
 	blocks   []blockMeta
-	buf      []byte    // concatenated block bytes (in-memory store)
+	buf      []byte      // concatenated block bytes (in-memory store)
 	spill    io.ReaderAt // block bytes live here instead when spilled
 	n        int
 	blockLen int
@@ -258,6 +258,8 @@ func (v *CompressedView) Next(a *Access) bool {
 // NextBatch implements BatchStream: the not-yet-consumed remainder of the
 // current decoded window, or the next block decoded into the reused window.
 // The returned slice is only valid until the next NextBatch/Next call.
+//
+//lint:hot
 func (v *CompressedView) NextBatch() []Access {
 	if v.winPos >= len(v.win) {
 		if !v.decodeNextBlock() {
@@ -293,6 +295,7 @@ func (v *CompressedView) decodeBlock() bool {
 	var data []byte
 	if v.c.spill != nil {
 		if cap(v.rbuf) < int(bm.size) {
+			//lint:ignore hotalloc one-time warmup: the read buffer grows to the largest spilled block once per cursor and is reused; cursors are themselves reused across replays
 			v.rbuf = make([]byte, bm.size)
 		}
 		v.rbuf = v.rbuf[:bm.size]
@@ -310,6 +313,7 @@ func (v *CompressedView) decodeBlock() bool {
 	}
 
 	if cap(v.win) < int(bm.count) {
+		//lint:ignore hotalloc one-time warmup: the decode window grows to the largest block once per cursor and is reused; cursors are themselves reused across replays
 		v.win = make([]Access, bm.count)
 	}
 	win := v.win[:bm.count]

@@ -108,13 +108,13 @@ func FuzzBlockDecode(f *testing.F) {
 		{Addr: 4160, Size: 64, Seg: Heap, Kind: Read, Thread: 200},
 	}, 0); err == nil {
 		f.Add(c.buf, uint16(2))
-		f.Add(c.buf, uint16(3))              // claims one more record than present
+		f.Add(c.buf, uint16(3))                // claims one more record than present
 		f.Add(c.buf[:len(c.buf)-1], uint16(2)) // truncated
 	}
-	f.Add([]byte{}, uint16(0))                                           // empty block (decoder must skip, not panic)
-	f.Add([]byte{0x0f}, uint16(1))                                       // escape nibble, no thread byte
-	f.Add([]byte{0xc0, 0x00, 0x00}, uint16(1))                           // kind == 3
-	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f}, uint16(1))   // oversize size varint
+	f.Add([]byte{}, uint16(0))                                         // empty block (decoder must skip, not panic)
+	f.Add([]byte{0x0f}, uint16(1))                                     // escape nibble, no thread byte
+	f.Add([]byte{0xc0, 0x00, 0x00}, uint16(1))                         // kind == 3
+	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f}, uint16(1)) // oversize size varint
 	// Non-canonical 10-byte size varint encoding zero, then a truncated
 	// delta: at 15 bytes this sat exactly on the old fast-path guard and
 	// drove the unchecked delta reads past the block (regression: the guard

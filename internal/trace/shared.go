@@ -98,6 +98,8 @@ func (v *View) Next(a *Access) bool {
 // DefaultBatchSize accesses over the shared immutable buffer. No copy is
 // made; the BatchStream lifetime contract applies (callers must not mutate
 // or retain the window past the next call).
+//
+//lint:hot
 func (v *View) NextBatch() []Access {
 	if v.pos >= len(v.s.accesses) {
 		return nil

@@ -152,6 +152,7 @@ type bufferedBatch struct {
 // NextBatch implements BatchStream.
 func (b *bufferedBatch) NextBatch() []Access {
 	n := 0
+	//lint:ignore hotalloc fallback adapter for scalar streams (generators, codec readers), contractually not a zero-alloc path; the batched kernels ride View/CompressedView
 	for n < len(b.buf) && b.s.Next(&b.buf[n]) {
 		n++
 	}

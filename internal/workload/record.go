@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"searchmem/internal/det"
 	"searchmem/internal/trace"
@@ -80,6 +81,33 @@ type recordedRun struct {
 	store    trace.Recording
 	branches []recordedBranch
 	stats    Stats
+
+	// spare caches one replay cursor between replays. Sweeps replay the
+	// same recording thousands of times; for compressed storage a fresh
+	// cursor re-grows its decode window and read buffer every time, so
+	// reuse turns per-replay allocation into one-time warmup. A single
+	// slot suffices: concurrent replays beyond the first simply allocate
+	// a fresh cursor, and Rewind restores identical decode state.
+	spare atomic.Pointer[cursorCell]
+}
+
+// cursorCell wraps a cursor so the atomic slot holds one pointer.
+type cursorCell struct{ cur trace.Cursor }
+
+// acquireCursor returns a rewound cursor over the recording, reusing the
+// cached one when free.
+func (rec *recordedRun) acquireCursor() *cursorCell {
+	cell := rec.spare.Swap(nil)
+	if cell == nil {
+		return &cursorCell{cur: rec.store.Cursor()}
+	}
+	cell.cur.Rewind()
+	return cell
+}
+
+// releaseCursor parks the cursor for the next replay.
+func (rec *recordedRun) releaseCursor(cell *cursorCell) {
+	rec.spare.Store(cell)
 }
 
 // recordedBranch is a branch event anchored to its position in the access
@@ -272,12 +300,16 @@ func (r *Replayer) record(key runKey) *recordedRun {
 // Consumers accepting batches get read-only windows of the recording
 // (zero-copy for flat storage, a reused decode window for compressed); the
 // rest get the scalar per-access path.
+//
+//lint:hot
 func (rec *recordedRun) replay(s Sinks) {
 	if s.AccessBatch != nil {
 		rec.replayBatched(s)
 		return
 	}
-	cur := rec.store.Cursor()
+	cell := rec.acquireCursor()
+	defer rec.releaseCursor(cell)
+	cur := cell.cur
 	var a trace.Access
 	var pos int64
 	bi := 0
@@ -285,11 +317,13 @@ func (rec *recordedRun) replay(s Sinks) {
 		for bi < len(rec.branches) && rec.branches[bi].pos == pos {
 			b := rec.branches[bi]
 			if s.Branch != nil {
+				//lint:ignore hotalloc consumer-provided sink: the replay transport is zero-alloc, the sink's own cost belongs to the consumer (simulator sinks are //lint:hot-checked)
 				s.Branch(b.thread, b.pc, b.taken)
 			}
 			bi++
 		}
 		if s.Access != nil {
+			//lint:ignore hotalloc consumer-provided sink: the replay transport is zero-alloc, the sink's own cost belongs to the consumer (simulator sinks are //lint:hot-checked)
 			s.Access(a)
 		}
 		pos++
@@ -298,6 +332,7 @@ func (rec *recordedRun) replay(s Sinks) {
 	for ; bi < len(rec.branches); bi++ {
 		b := rec.branches[bi]
 		if s.Branch != nil {
+			//lint:ignore hotalloc consumer-provided sink: the replay transport is zero-alloc, the sink's own cost belongs to the consumer (simulator sinks are //lint:hot-checked)
 			s.Branch(b.thread, b.pc, b.taken)
 		}
 	}
@@ -309,8 +344,12 @@ func (rec *recordedRun) replay(s Sinks) {
 // batching changes the transport, never the observable order. Windows are
 // additionally capped at trace.DefaultBatchSize so consumers see bounded
 // batches regardless of the store's window geometry.
+//
+//lint:hot
 func (rec *recordedRun) replayBatched(s Sinks) {
-	cur := rec.store.Cursor()
+	cell := rec.acquireCursor()
+	defer rec.releaseCursor(cell)
+	cur := cell.cur
 	n := rec.store.Len()
 	pos, bi := 0, 0
 	var win []trace.Access
@@ -321,6 +360,7 @@ func (rec *recordedRun) replayBatched(s Sinks) {
 		for bi < len(rec.branches) && rec.branches[bi].pos == int64(pos) {
 			b := rec.branches[bi]
 			if s.Branch != nil {
+				//lint:ignore hotalloc consumer-provided sink: the replay transport is zero-alloc, the sink's own cost belongs to the consumer (simulator sinks are //lint:hot-checked)
 				s.Branch(b.thread, b.pc, b.taken)
 			}
 			bi++
@@ -344,6 +384,7 @@ func (rec *recordedRun) replayBatched(s Sinks) {
 		}
 		for pos < end {
 			hi := min(pos+trace.DefaultBatchSize, end)
+			//lint:ignore hotalloc consumer-provided sink: the replay transport is zero-alloc, the sink's own cost belongs to the consumer (simulator sinks are //lint:hot-checked)
 			s.AccessBatch(win[pos-winStart : hi-winStart : hi-winStart])
 			pos = hi
 		}
