@@ -18,6 +18,7 @@ import (
 	"searchmem/internal/cache"
 	"searchmem/internal/cpu"
 	"searchmem/internal/experiments"
+	"searchmem/internal/mem"
 	"searchmem/internal/obs"
 	"searchmem/internal/serving"
 	"searchmem/internal/stats"
@@ -85,6 +86,8 @@ func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkFig13(b *testing.B)  { benchExperiment(b, "fig13") }
 func BenchmarkFig14(b *testing.B)  { benchExperiment(b, "fig14") }
+func BenchmarkFigT1(b *testing.B)  { benchExperiment(b, "figT1") }
+func BenchmarkFigT2(b *testing.B)  { benchExperiment(b, "figT2") }
 
 // --- sweep-engine before/after benchmarks (DESIGN.md §10) ---
 
@@ -417,6 +420,48 @@ func BenchmarkMultiSim(b *testing.B) {
 			done += n
 		}
 	})
+}
+
+// --- tiered main-memory kernel benchmarks (DESIGN.md §14) ---
+
+// benchMemSystem drains the memoized leaf trace through one tiered memory
+// system: ns/op is per simulated memory transaction, and allocs/op must be
+// 0 in steady state (the //lint:hot contract on System.DrainBatch — the
+// first pass outside the timer absorbs page-table growth).
+func benchMemSystem(b *testing.B, far *mem.FarConfig) {
+	tr := benchLeafTrace(b)
+	sh := trace.NewShared(tr)
+	sys := mem.NewSystem(mem.Config{Far: far})
+	v := sh.View()
+	sys.DrainBatch(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += len(tr) {
+		v.Rewind()
+		sys.DrainBatch(v)
+	}
+	b.StopTimer()
+	st := sys.Snapshot()
+	b.ReportMetric(st.RowHitRate(), "row-hit-rate")
+	if far != nil {
+		b.ReportMetric(st.FarReadFrac(), "far-read-frac")
+	}
+}
+
+// BenchmarkMemSystemNear is the near-only DRAM bank/row-buffer model.
+func BenchmarkMemSystemNear(b *testing.B) { benchMemSystem(b, nil) }
+
+// BenchmarkMemSystemTieredStatic adds the far tier with first-touch
+// placement (no migration traffic; NearPages is sized well below the leaf
+// trace's page population so the far path is exercised).
+func BenchmarkMemSystemTieredStatic(b *testing.B) {
+	benchMemSystem(b, &mem.FarConfig{NearPages: 512, Policy: mem.PolicyStatic})
+}
+
+// BenchmarkMemSystemTieredFreq adds epoch rebalancing under the
+// frequency-threshold policy (the placement engine's worst case).
+func BenchmarkMemSystemTieredFreq(b *testing.B) {
+	benchMemSystem(b, &mem.FarConfig{NearPages: 512, Policy: mem.PolicyFreqThreshold, EpochLen: 65536})
 }
 
 // BenchmarkStackDist measures the one-pass reuse profiler.

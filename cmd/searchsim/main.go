@@ -45,6 +45,10 @@ func main() {
 		traceCompress = flag.Bool("trace-compress", false, "store workload recordings block-compressed (bounded replay memory; output is byte-identical)")
 		traceSpill    = flag.String("trace-spill", "", "with -trace-compress, spill finished blocks to unlinked temp files in this directory (use e.g. /tmp; bounds recording RSS too)")
 		traceBlock    = flag.Int("trace-block", 0, "accesses per compressed block (0 = default)")
+
+		tierNear   = flag.Float64("tier-near", 0, "restrict the tiered-memory sweeps (figT1/figT2) to one near:far split, e.g. 0.25 (0 = full grid)")
+		tierPolicy = flag.String("tier-policy", "", "restrict the tiered-memory sweeps to one placement policy: static, lru-epoch, or freq (empty = all)")
+		tierEpoch  = flag.Int64("tier-epoch", 0, "placement-epoch length in memory transactions (0 = derived from measured traffic)")
 	)
 	flag.Parse()
 
@@ -80,6 +84,13 @@ func main() {
 	opts.TraceCompress = *traceCompress
 	opts.TraceSpillDir = *traceSpill
 	opts.TraceBlockLen = *traceBlock
+	opts.TierNearFrac = *tierNear
+	opts.TierPolicy = *tierPolicy
+	opts.TierEpochLen = *tierEpoch
+	if *tierNear != 0 && (*tierNear <= 0 || *tierNear >= 1) {
+		fmt.Fprintln(os.Stderr, "-tier-near must be in (0,1)")
+		os.Exit(2)
+	}
 	if *traceSpill != "" && !*traceCompress {
 		fmt.Fprintln(os.Stderr, "-trace-spill requires -trace-compress")
 		os.Exit(2)

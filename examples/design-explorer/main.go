@@ -1,10 +1,12 @@
 // Design-explorer searches the §IV design space with the core library: it
 // evaluates (cores, L3-per-core, L4) configurations under iso-area and
-// iso-power constraints using an analytic hit-curve stand-in, and prints
-// the frontier.
+// iso-power constraints using an analytic hit-curve stand-in, prints the
+// frontier, and then extends the winning design below the L4 — sweeping
+// near:far memory capacity splits under the tiered-memory cost model
+// (QPS per memory dollar, the figT1 economics).
 //
 //	go run ./examples/design-explorer
-//	go run ./examples/design-explorer -area 117 -isopower
+//	go run ./examples/design-explorer -area 117 -isopower -mem-gib 64 -far-amat-pct 5
 package main
 
 import (
@@ -42,6 +44,9 @@ func main() {
 		area     = flag.Float64("area", 117, "die-area budget in L3-equivalent MiB")
 		isoPower = flag.Bool("isopower", false, "cap socket power at the 18-core baseline")
 		l4s      = flag.Bool("l4", true, "allow L4 configurations")
+
+		memGiB     = flag.Float64("mem-gib", 64, "provisioned memory per leaf in GiB (tier sweep)")
+		farAMATPct = flag.Float64("far-amat-pct", 5, "modeled AMAT degradation when the cold working set lives far (run figT1 for measured values)")
 	)
 	flag.Parse()
 
@@ -84,4 +89,34 @@ func main() {
 	imp, _ := searchmem.CompareDesigns(baseScore, best)
 	fmt.Printf("\nbest: %s (%+.1f%% over baseline)\n", best.Design, 100*imp)
 	fmt.Println("(the paper's §IV point: 23 cores / 1 MiB/core / 1 GiB L4 at +27%)")
+
+	tierSweep(best, ev, *memGiB, *farAMATPct)
+}
+
+// tierSweep extends the winning design below the L4: with the shard too big
+// for any cache, what fraction of leaf memory is worth buying as near DDR
+// versus CXL-attached far capacity? QPS follows Equation 1 from the
+// design's AMAT, degraded by farAMATPct when pages spill far (an analytic
+// stand-in — figT1 simulates the real placement policies); cost follows the
+// tiered-memory price model.
+func tierSweep(best searchmem.DesignScore, ev searchmem.DesignEvaluator, memGiB, farAMATPct float64) {
+	cost := searchmem.DefaultMemCost()
+	bytes := int64(memGiB * (1 << 30))
+	allNear := cost.Dollars(bytes, 0)
+	qpsAllNear := ev.Params.IPCLine.Eval(best.AMATNS)
+
+	fmt.Printf("\nmemory tiering for the best design (%.0f GiB/leaf, $%.0f all-near):\n", memGiB, allNear)
+	fmt.Printf("  %-10s %12s %10s %14s\n", "near", "mem $/leaf", "QPS rel", "QPS per mem $")
+	for _, nearFrac := range []float64{1.0, 0.5, 0.25, 0.125} {
+		near := int64(float64(bytes) * nearFrac)
+		dollars := cost.Dollars(near, bytes-near)
+		amat := best.AMATNS
+		if nearFrac < 1 {
+			amat *= 1 + farAMATPct/100
+		}
+		rel := ev.Params.IPCLine.Eval(amat) / qpsAllNear
+		fmt.Printf("  %-10s %12.0f %10.3f %14.3f\n",
+			fmt.Sprintf("%.1f%%", 100*nearFrac), dollars, rel, rel*allNear/dollars)
+	}
+	fmt.Println("(simulated splits and policies: go run ./cmd/searchsim -fast figT1 figT2)")
 }

@@ -96,7 +96,26 @@ type Hierarchy struct {
 	// PrefetchMemReads counts the subset that had to read main memory
 	// (prefetch bandwidth cost).
 	PrefetchFills, PrefetchMemReads int64
+
+	// mem, when non-nil, observes every main-memory transaction.
+	mem MemSink
 }
+
+// MemSink observes every main-memory transaction the hierarchy issues:
+// demand and prefetch fetches that missed all cache levels (MemRead) and
+// dirty writebacks that fell out of the bottom of the hierarchy (MemWrite).
+// It is how a main-memory timing model (internal/mem's tiered system)
+// attaches below the functional simulator without the cache package
+// depending on it. Calls are made on the hierarchy's replay goroutine in
+// trace order, so a sink advancing virtual time stays deterministic.
+type MemSink interface {
+	MemRead(addr uint64, seg trace.Segment)
+	MemWrite(addr uint64, seg trace.Segment)
+}
+
+// SetMemSink attaches a main-memory observer (nil detaches). Attach before
+// replay: the sink sees only transactions issued after the call.
+func (h *Hierarchy) SetMemSink(ms MemSink) { h.mem = ms }
 
 // HitLevel identifies the hierarchy level that serviced an access.
 type HitLevel uint8
@@ -162,6 +181,9 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		h.l4.OnEvict = func(l Line) {
 			if l.Dirty {
 				h.MemWrites++
+				if h.mem != nil {
+					h.mem.MemWrite(l.BlockAddr<<h.l4.BlockShift(), l.Seg)
+				}
 			}
 		}
 	}
@@ -206,6 +228,9 @@ func (h *Hierarchy) onL3Evict(l Line) {
 	}
 	if dirty {
 		h.MemWrites++
+		if h.mem != nil {
+			h.mem.MemWrite(byteAddr, l.Seg)
+		}
 	}
 }
 
@@ -412,6 +437,10 @@ func (h *Hierarchy) missPath(l1, l2 *Cache, byteAddr uint64, seg trace.Segment, 
 			} else {
 				level = HitMemory
 				h.MemReads++
+				if h.mem != nil {
+					//lint:ignore hotalloc memory-model sink: internal/mem's kernels are independently //lint:hot-enforced and AllocsPerRun-pinned
+					h.mem.MemRead(byteAddr, seg)
+				}
 				if h.l4 != nil && h.cfg.L4FillOnMiss {
 					h.l4.Fill(h.l4.BlockAddr(byteAddr), seg, false)
 				}
@@ -452,6 +481,9 @@ func (h *Hierarchy) InstallPrefetch(core int, byteAddr uint64, seg trace.Segment
 		if !inL4 {
 			h.PrefetchMemReads++
 			h.MemReads++
+			if h.mem != nil {
+				h.mem.MemRead(byteAddr, seg)
+			}
 		}
 		h.l3.fillAbsent(h.l3.BlockAddr(byteAddr), seg, false)
 	}

@@ -125,6 +125,11 @@ func AssociativeL4(capacity int64) L4Design {
 type Traffic struct {
 	// L4Hits and L4Misses partition post-L3 demand reads.
 	L4Hits, L4Misses int64
+	// L4Writebacks counts dirty L3 evictions absorbed by the L4 row
+	// instead of reaching main memory (the write-buffering behaviour
+	// behind WriteBufferSavingsNS): each is one L4 row access, billed at
+	// L4 energy cost.
+	L4Writebacks int64
 	// MemReads and MemWrites are main-memory transactions.
 	MemReads, MemWrites int64
 	// BlockBytes is the transfer size per transaction.
@@ -143,9 +148,14 @@ func (t Traffic) DRAMFilterRate() float64 {
 }
 
 // Energy returns total memory-system access energy in joules: L4 traffic at
-// l4's energy cost plus main-memory traffic at mem's.
+// l4's energy cost plus main-memory traffic at mem's. Writebacks the L4
+// absorbed (Traffic.L4Writebacks) are L4 row accesses too — they cost L4
+// energy, not main-memory energy, which is precisely the write-buffering
+// saving WriteBufferSavingsNS models on the latency side.
 func Energy(t Traffic, l4, mem Device) float64 {
-	l4Accesses := float64(t.L4Hits + t.L4Misses) // every post-L3 read probes the L4 row
+	// Every post-L3 read probes the L4 row, and every absorbed writeback
+	// writes one.
+	l4Accesses := float64(t.L4Hits + t.L4Misses + t.L4Writebacks)
 	memAccesses := float64(t.MemReads + t.MemWrites)
 	return (l4Accesses*l4.EnergyPerAccessNJ + memAccesses*mem.EnergyPerAccessNJ) * 1e-9
 }
@@ -175,20 +185,16 @@ func WriteBufferSavingsNS(writeFrac, tWRTNS float64) float64 {
 	return writeFrac * tWRTNS
 }
 
-// Utilization returns consumed/peak bandwidth for a device, clamped to
-// [0, 1]. The paper measures production search at 40-50% of peak DRAM
-// bandwidth (vs ~1% for CloudSuite), leaving headroom that the L4 design
-// relies on.
+// Utilization returns the raw consumed/peak bandwidth ratio for a device
+// (negative consumption reads as 0). Values above 1 mean the modeled
+// traffic oversubscribes the device and must stay visible — clamping is a
+// rendering decision, not a modeling one — so callers that need a bounded
+// value clamp at the presentation layer. The paper measures production
+// search at 40-50% of peak DRAM bandwidth (vs ~1% for CloudSuite), leaving
+// headroom that the L4 design relies on.
 func Utilization(consumedGBs float64, dev Device) float64 {
-	if dev.PeakBandwidthGBs <= 0 {
+	if dev.PeakBandwidthGBs <= 0 || consumedGBs < 0 {
 		return 0
 	}
-	u := consumedGBs / dev.PeakBandwidthGBs
-	if u < 0 {
-		return 0
-	}
-	if u > 1 {
-		return 1
-	}
-	return u
+	return consumedGBs / dev.PeakBandwidthGBs
 }

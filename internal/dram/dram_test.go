@@ -82,6 +82,21 @@ func TestEnergyUnits(t *testing.T) {
 	}
 }
 
+func TestEnergyBillsAbsorbedWritebacks(t *testing.T) {
+	// 1000 dirty L3 evictions, all absorbed by the L4: they are L4 row
+	// writes (6 nJ each on eDRAM), not free — but cheaper than the DRAM
+	// writes (20 nJ each) they would be without the L4.
+	absorbed := Traffic{L4Writebacks: 1000}
+	writtenThrough := Traffic{MemWrites: 1000}
+	eAbs := Energy(absorbed, EDRAM, DDR4)
+	if want := 1000 * EDRAM.EnergyPerAccessNJ * 1e-9; math.Abs(eAbs-want) > 1e-15 {
+		t.Fatalf("absorbed writebacks billed %v J, want %v J (L4 cost)", eAbs, want)
+	}
+	if eThrough := Energy(writtenThrough, EDRAM, DDR4); eAbs >= eThrough {
+		t.Fatalf("absorption did not save energy: %v vs %v", eAbs, eThrough)
+	}
+}
+
 func TestBandwidth(t *testing.T) {
 	// 1e9 transactions of 64 B over 1 s = 64 GB/s.
 	if got := BandwidthGBs(1e9, 64, 1); math.Abs(got-64) > 1e-9 {
@@ -96,11 +111,15 @@ func TestUtilization(t *testing.T) {
 	if got := Utilization(34, DDR4); math.Abs(got-0.5) > 1e-9 {
 		t.Fatalf("utilization %v, want 0.5", got)
 	}
-	if Utilization(1000, DDR4) != 1 {
-		t.Fatal("not clamped to 1")
+	// Oversubscription must be visible, not silently clamped to 1: a
+	// modeled stream demanding 2x the DDR4 peak reads as 2.0. (Regression
+	// pin: Utilization used to clamp to [0,1], hiding infeasible design
+	// points in the bandwidth tables.)
+	if got := Utilization(2*DDR4.PeakBandwidthGBs, DDR4); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("oversubscribed utilization %v, want 2 (raw ratio)", got)
 	}
 	if Utilization(-5, DDR4) != 0 {
-		t.Fatal("not clamped to 0")
+		t.Fatal("negative consumption must read as 0")
 	}
 	if Utilization(10, Device{}) != 0 {
 		t.Fatal("zero-peak device must give 0")

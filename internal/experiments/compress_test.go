@@ -32,11 +32,15 @@ func renderIDs(t *testing.T, opts Options, ids []string) string {
 // experiment level: with -trace-compress (and with spill-to-disk on top),
 // rendered output is byte-for-byte the flat-storage output. fig6b exercises
 // the batched Cursor profile path, fig13 the scalar replay path through the
-// SMT model, table1 the measured characterization.
+// SMT model, table1 the measured characterization, and figT1 the
+// tiered-memory sweep (post-L4 traffic driven into internal/mem).
 func TestCompressedReplayByteIdentical(t *testing.T) {
-	ids := []string{"table1", "fig6b", "fig13"}
+	ids := []string{"table1", "fig6b", "fig13", "figT1"}
 	if testing.Short() {
 		ids = []string{"fig6b", "fig13"}
+	} else if raceDetectorOn {
+		// Same race-mode time-budget trade as TestSameSeedByteIdenticalOutput.
+		ids = ids[:len(ids)-1]
 	}
 
 	base := Fast()

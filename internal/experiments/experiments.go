@@ -46,6 +46,18 @@ type Options struct {
 	// TraceBlockLen overrides the accesses-per-block geometry
 	// (0 = trace.DefaultBlockLen).
 	TraceBlockLen int
+	// TierNearFrac, when positive, restricts the tiered-memory sweeps
+	// (figT1/figT2) to one near:far capacity split instead of the default
+	// grid (cmd/searchsim -tier-near).
+	TierNearFrac float64
+	// TierPolicy, when non-empty, restricts the tiered-memory sweeps to one
+	// placement policy ("static", "lru-epoch", "freq"; cmd/searchsim
+	// -tier-policy).
+	TierPolicy string
+	// TierEpochLen overrides the placement-epoch length in memory
+	// transactions (0 = derived from the measured traffic so several epochs
+	// fit in the run; cmd/searchsim -tier-epoch).
+	TierEpochLen int64
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
 	// Tracer, when non-nil, collects distributed traces from experiments

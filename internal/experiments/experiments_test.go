@@ -19,8 +19,9 @@ func TestRegistryComplete(t *testing.T) {
 		"explore",                       // §IV extension: design-space search
 		"splitl2",                       // §V extension: split I/D L2 what-if
 		"missclass", "bandwidth", "slo", // §II-§IV extensions
-		"degraded",  // §II extension: fault-tolerant serving tier
-		"fleetprof", // §II methodology: GWP-style sampled profiling
+		"degraded",       // §II extension: fault-tolerant serving tier
+		"fleetprof",      // §II methodology: GWP-style sampled profiling
+		"figT1", "figT2", // tiered-memory extension (Mahar et al.)
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

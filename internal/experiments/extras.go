@@ -99,7 +99,7 @@ func runBandwidth(c *Context) (Result, error) {
 	t := &Table{
 		Title:   "Socket DRAM bandwidth at full load (modeled)",
 		Headers: []string{"workload", "GB/s", "of peak"},
-		Note:    "paper §II-D: production search 40-50% of peak DRAM bandwidth; CloudSuite ~1%",
+		Note:    "paper §II-D: production search 40-50% of peak DRAM bandwidth; CloudSuite ~1%; >100% of peak = the modeled stream oversubscribes the device",
 	}
 	t.AddRow("S1 leaf", fmt.Sprintf("%.1f", sGBs), pct(sUtil))
 	t.AddRow("CloudSuite WS", fmt.Sprintf("%.1f", cGBs), pct(cUtil))

@@ -1,0 +1,167 @@
+package mem
+
+// This file is the near-tier timing model: per-bank open-row state, bank
+// occupancy in virtual time, and a small FR-FCFS-lite scheduling window per
+// channel.
+//
+// Address mapping (row-interleaved): the low RowBytes of an address form
+// the column, the next bits pick the channel, then the bank, and the rest
+// the row —
+//
+//	| row | bank | channel | column |
+//
+// so a streaming access pattern fills one row before moving to the next
+// channel, which is what gives sequential posting-list scans their long
+// row-hit runs.
+//
+// Scheduling: each channel buffers up to WindowDepth pending requests. When
+// the window is full (or drained explicitly), the scheduler issues the
+// oldest request whose target row is already open in its bank — the
+// "first-ready" half of FR-FCFS — falling back to the oldest request
+// overall. Timing per issued request:
+//
+//	service = TCAS+TBurst                 row hit
+//	        = TRCD+TCAS+TBurst            row miss, bank idle
+//	        = TRP+TRCD+TCAS+TBurst        row miss, another row open
+//	start   = max(arrival, bank ready)
+//	latency = (start - arrival) + service + BaseNS
+//
+// Everything is a deterministic function of the request sequence: the
+// virtual clock advances a fixed ArrivalNS per memory transaction, and
+// tie-breaks always pick the lowest pending index (oldest).
+
+// memReq is one pending near-tier request.
+type memReq struct {
+	bank      int32 // global bank index (channel folded in)
+	write     bool
+	row       uint64
+	arrivalNS float64
+}
+
+// dramSim holds the mutable near-tier state. All slices are sized at
+// construction; the hot path never allocates.
+type dramSim struct {
+	// Geometry, precomputed as shifts/masks of the mapping above.
+	colShift  uint   // log2(RowBytes)
+	chanMask  uint64 // Channels-1
+	chanShift uint   // log2(Channels)
+	bankMask  uint64 // BanksPerChannel-1
+	bankShift uint   // log2(BanksPerChannel)
+	depth     int
+
+	tCAS, tRCD, tRP, tBurst, base float64
+
+	// Per-global-bank state: openRow holds row+1 (0 = closed),
+	// readyNS is when the bank next accepts a command.
+	openRow []uint64
+	readyNS []float64
+
+	// Per-channel pending windows, insertion-ordered (index = age), stored
+	// as one flat [channels*depth] backing array plus per-channel counts.
+	pend  []memReq
+	pendN []int
+}
+
+func newDRAMSim(d DRAMConfig) *dramSim {
+	s := &dramSim{
+		colShift:  log2(uint64(d.RowBytes)),
+		chanMask:  uint64(d.Channels - 1),
+		chanShift: log2(uint64(d.Channels)),
+		bankMask:  uint64(d.BanksPerChannel - 1),
+		bankShift: log2(uint64(d.BanksPerChannel)),
+		depth:     d.WindowDepth,
+		tCAS:      d.TCASNS,
+		tRCD:      d.TRCDNS,
+		tRP:       d.TRPNS,
+		tBurst:    d.TBurstNS,
+		base:      d.BaseNS,
+	}
+	banks := d.Channels * d.BanksPerChannel
+	s.openRow = make([]uint64, banks)
+	s.readyNS = make([]float64, banks)
+	s.pend = make([]memReq, d.Channels*d.WindowDepth)
+	s.pendN = make([]int, d.Channels)
+	return s
+}
+
+// log2 of a power of two.
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// enqueue adds one near-tier request for addr, issuing the scheduler's pick
+// when the channel window is full. Latency lands in st as requests issue.
+func (s *dramSim) enqueue(addr uint64, write bool, arrivalNS float64, st *Stats) {
+	ch := (addr >> s.colShift) & s.chanMask
+	bank := int32(ch<<s.bankShift | (addr>>(s.colShift+s.chanShift))&s.bankMask)
+	row := addr >> (s.colShift + s.chanShift + s.bankShift)
+	base := int(ch) * s.depth
+	if s.pendN[ch] == s.depth {
+		s.issueOne(base, &s.pendN[ch], st)
+	}
+	s.pend[base+s.pendN[ch]] = memReq{bank: bank, write: write, row: row, arrivalNS: arrivalNS}
+	s.pendN[ch]++
+}
+
+// issueOne picks and times one request from the channel window starting at
+// base: the oldest row-hit if any, else the oldest request. The window stays
+// insertion-ordered (older entries shift down over the issued slot).
+func (s *dramSim) issueOne(base int, n *int, st *Stats) {
+	pick := 0
+	for i := 0; i < *n; i++ {
+		r := &s.pend[base+i]
+		if s.openRow[r.bank] == r.row+1 {
+			pick = i
+			break
+		}
+	}
+	req := s.pend[base+pick]
+	for i := pick; i < *n-1; i++ {
+		s.pend[base+i] = s.pend[base+i+1]
+	}
+	*n--
+
+	var svc float64
+	if s.openRow[req.bank] == req.row+1 {
+		st.RowHits++
+		svc = s.tCAS + s.tBurst
+	} else {
+		st.RowMisses++
+		svc = s.tRCD + s.tCAS + s.tBurst
+		if s.openRow[req.bank] != 0 {
+			st.Precharges++
+			svc += s.tRP
+		}
+		s.openRow[req.bank] = req.row + 1
+	}
+	start := req.arrivalNS
+	if s.readyNS[req.bank] > start {
+		start = s.readyNS[req.bank]
+	}
+	s.readyNS[req.bank] = start + svc
+	queue := start - req.arrivalNS
+	st.QueueNSSum += queue
+	lat := queue + svc + s.base
+	if req.write {
+		st.WriteNSSum += lat
+	} else {
+		st.ReadNSSum += lat
+	}
+}
+
+// drain issues every pending request in all channel windows (channel order,
+// then age order). Called before statistics are read or reset so no request
+// is left half-accounted.
+func (s *dramSim) drain(st *Stats) {
+	for ch := range s.pendN {
+		base := ch * s.depth
+		for s.pendN[ch] > 0 {
+			s.issueOne(base, &s.pendN[ch], st)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"searchmem/internal/cache"
 	"searchmem/internal/cpu"
+	"searchmem/internal/mem"
 	"searchmem/internal/model"
 	"searchmem/internal/platform"
 	"searchmem/internal/trace"
@@ -64,6 +65,13 @@ type MeasureConfig struct {
 	// BranchObserver, when non-nil, sees every measured-phase branch and
 	// whether it mispredicted.
 	BranchObserver func(thread uint8, mispredict bool)
+	// Mem, when non-nil, attaches a tiered main-memory model (internal/mem)
+	// below the hierarchy: post-L4 traffic runs through its DRAM bank/row-
+	// buffer near tier and optional far tier, Metrics.Mem carries its
+	// snapshot, and the AMAT model uses its effective read latency in place
+	// of Platform.MemLatencyNS. Each measurement builds its own mem.System
+	// from this config (the config itself is never mutated).
+	Mem *mem.Config
 }
 
 // Metrics is the measured outcome, aligned with Table I's rows and the
@@ -92,6 +100,10 @@ type Metrics struct {
 	// Instructions measured; Run carries the workload-level counters.
 	Instructions int64
 	Run          Stats
+	// Mem, when MeasureConfig.Mem was set, is the tiered memory system's
+	// measured-phase snapshot (row-buffer behaviour, tier residency,
+	// migration accounting).
+	Mem *mem.Stats
 }
 
 // normalize applies MeasureConfig defaults in place (predictor sizing and
@@ -108,9 +120,10 @@ func (mc *MeasureConfig) normalize() {
 	}
 }
 
-// buildHierarchy constructs the simulated hierarchy described by mc and
-// resolves the L4 timing parameters.
-func buildHierarchy(mc MeasureConfig) (h *cache.Hierarchy, l4Hit, l4Pen float64) {
+// buildHierarchy constructs the simulated hierarchy described by mc,
+// resolves the L4 timing parameters, and attaches the tiered memory model
+// when one is configured (sys is nil otherwise).
+func buildHierarchy(mc MeasureConfig) (h *cache.Hierarchy, sys *mem.System, l4Hit, l4Pen float64) {
 	var hcfg cache.HierarchyConfig
 	if mc.L3Size > 0 {
 		hcfg = mc.Platform.HierarchyWithL3Size(mc.Cores, mc.SMTWays, mc.L3Size)
@@ -137,7 +150,12 @@ func buildHierarchy(mc MeasureConfig) (h *cache.Hierarchy, l4Hit, l4Pen float64)
 			l4Hit = 40
 		}
 	}
-	return cache.NewHierarchy(hcfg), l4Hit, l4Pen
+	h = cache.NewHierarchy(hcfg)
+	if mc.Mem != nil {
+		sys = mem.NewSystem(*mc.Mem)
+		h.SetMemSink(sys)
+	}
+	return h, sys, l4Hit, l4Pen
 }
 
 // Measure runs the workload against the configured hierarchy and reduces
@@ -147,7 +165,7 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 		panic("workload: Measure needs positive cores/threads/SMT")
 	}
 	mc.normalize()
-	h, l4Hit, l4Pen := buildHierarchy(mc)
+	h, sys, l4Hit, l4Pen := buildHierarchy(mc)
 
 	var engine *cpu.Engine
 	if mc.Prefetchers != nil {
@@ -193,6 +211,9 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 	if warm > 0 {
 		r.Run(mc.Threads, warm, mc.Seed^0xbeef, sinks)
 		h.ResetStats()
+		if sys != nil {
+			sys.ResetStats() // residency and row state stay warm; counters restart
+		}
 		for i := range preds {
 			preds[i].Predictions, preds[i].Mispredicts = 0, 0
 		}
@@ -200,11 +221,11 @@ func Measure(r Runner, mc MeasureConfig) Metrics {
 	measuring = true
 	run := r.Run(mc.Threads, mc.Budget, mc.Seed, sinks)
 
-	return reduce(r, mc, h, preds, run, l4Hit, l4Pen)
+	return reduce(r, mc, h, sys, preds, run, l4Hit, l4Pen)
 }
 
 // reduce turns raw simulation counters into Metrics via the core model.
-func reduce(r Runner, mc MeasureConfig, h *cache.Hierarchy, preds []*cpu.PredictorStats, run Stats, l4Hit, l4Pen float64) Metrics {
+func reduce(r Runner, mc MeasureConfig, h *cache.Hierarchy, sys *mem.System, preds []*cpu.PredictorStats, run Stats, l4Hit, l4Pen float64) Metrics {
 	m := Metrics{
 		Instructions: run.Instructions,
 		Run:          run,
@@ -241,9 +262,18 @@ func reduce(r Runner, mc MeasureConfig, h *cache.Hierarchy, preds []*cpu.Predict
 	m.DRAMPerKI = float64(h.DRAMAccesses()) / ki
 
 	plat := mc.Platform
-	m.AMATNS = model.AMATWithL4(m.L3HitRate, m.L4HitRate, plat.L3LatencyNS, l4Hit, plat.MemLatencyNS, l4Pen)
+	tMEM := plat.MemLatencyNS
+	if sys != nil {
+		// The tiered model's measured effective read latency (queueing,
+		// row-buffer behaviour, far-tier accesses, amortized migrations)
+		// replaces the platform's flat memory-latency constant.
+		snap := sys.Snapshot()
+		m.Mem = &snap
+		tMEM = snap.EffectiveReadNS(tMEM)
+	}
+	m.AMATNS = model.AMATWithL4(m.L3HitRate, m.L4HitRate, plat.L3LatencyNS, l4Hit, tMEM, l4Pen)
 	if !h.HasL4() {
-		m.AMATNS = model.AMATL3(m.L3HitRate, plat.L3LatencyNS, plat.MemLatencyNS)
+		m.AMATNS = model.AMATL3(m.L3HitRate, plat.L3LatencyNS, tMEM)
 	}
 
 	core := plat.Core

@@ -5,6 +5,7 @@ import (
 
 	"searchmem/internal/cache"
 	"searchmem/internal/cpu"
+	"searchmem/internal/mem"
 	"searchmem/internal/trace"
 )
 
@@ -66,10 +67,11 @@ func MeasureMulti(r Runner, mcs []MeasureConfig) []Metrics {
 
 	n := len(cfgs)
 	hs := make([]*cache.Hierarchy, n)
+	sys := make([]*mem.System, n)
 	l4Hit := make([]float64, n)
 	l4Pen := make([]float64, n)
 	for i := range cfgs {
-		hs[i], l4Hit[i], l4Pen[i] = buildHierarchy(cfgs[i])
+		hs[i], sys[i], l4Hit[i], l4Pen[i] = buildHierarchy(cfgs[i])
 	}
 	ms := cache.NewMultiSim(hs...)
 
@@ -120,6 +122,11 @@ func MeasureMulti(r Runner, mcs []MeasureConfig) []Metrics {
 		for _, h := range hs {
 			h.ResetStats()
 		}
+		for _, s := range sys {
+			if s != nil {
+				s.ResetStats()
+			}
+		}
 		for _, k := range order {
 			for _, p := range groups[k] {
 				p.Predictions, p.Mispredicts = 0, 0
@@ -130,7 +137,7 @@ func MeasureMulti(r Runner, mcs []MeasureConfig) []Metrics {
 
 	out := make([]Metrics, n)
 	for i := range cfgs {
-		out[i] = reduce(r, cfgs[i], hs[i], groups[groupOf[i]], run, l4Hit[i], l4Pen[i])
+		out[i] = reduce(r, cfgs[i], hs[i], sys[i], groups[groupOf[i]], run, l4Hit[i], l4Pen[i])
 	}
 	return out
 }

@@ -44,6 +44,7 @@ import (
 	"searchmem/internal/cpu"
 	"searchmem/internal/dram"
 	"searchmem/internal/experiments"
+	"searchmem/internal/mem"
 	"searchmem/internal/memsim"
 	"searchmem/internal/model"
 	"searchmem/internal/platform"
@@ -200,6 +201,42 @@ func BaselineL4(capacity int64) L4Design { return dram.BaselineL4(capacity) }
 
 // TopDownBreakdown is the Top-Down slot accounting of Figure 3.
 type TopDownBreakdown = cpu.Breakdown
+
+// --- tiered main memory (below the L4; figT1/figT2 extension) ---
+
+// MemConfig describes a tiered memory system: a DRAM bank/row-buffer near
+// tier plus an optional CXL-like far tier with hot/cold page placement.
+// Attach one to MeasureConfig.Mem to replace the flat tMEM constant with
+// simulated post-L4 memory timing.
+type MemConfig = mem.Config
+
+// DRAMConfig shapes the near-tier channel/bank/row-buffer timing model.
+type DRAMConfig = mem.DRAMConfig
+
+// FarMemConfig enables and shapes the far tier (capacity split, placement
+// policy, epoch length, migration cost).
+type FarMemConfig = mem.FarConfig
+
+// MemStats is a tiered memory system's counter snapshot (row-buffer hit
+// rate, far-tier traffic and residency, migration volume).
+type MemStats = mem.Stats
+
+// PagePolicy selects the far tier's hot/cold placement policy.
+type PagePolicy = mem.PagePolicy
+
+// Placement policies for FarMemConfig.Policy.
+const (
+	PolicyStatic        = mem.PolicyStatic
+	PolicyLRUEpoch      = mem.PolicyLRUEpoch
+	PolicyFreqThreshold = mem.PolicyFreqThreshold
+)
+
+// MemCostModel prices provisioned capacity per tier — the denominator of
+// the tier sweep's QPS-per-memory-dollar metric.
+type MemCostModel = mem.CostModel
+
+// DefaultMemCost returns the illustrative near/far price gap used by figT1.
+func DefaultMemCost() MemCostModel { return mem.DefaultCost }
 
 // --- hierarchy design space (the paper's §IV contribution) ---
 
