@@ -32,6 +32,9 @@ func main() {
 		block   = flag.Int("block", 64, "block size bytes")
 		incl    = flag.Bool("inclusive", true, "inclusive L3")
 		instrKI = flag.Int64("instructions", 0, "instruction count for MPKI (0 = per-access rates only)")
+		policy  = flag.String("policy", "", "L3 replacement policy: "+cache.PolicyNames()+" (empty = LRU; unknown names are an error)")
+		seed    = flag.Uint64("seed", 1, "seed for stochastic replacement policies")
+		predict = flag.Bool("predict", false, "attach the cache-level predictor and report its probe accounting")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -67,8 +70,22 @@ func main() {
 			c.Size = blocks * int64(c.BlockSize)
 		}
 	}
+	if *policy != "" {
+		p, err := cache.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-policy: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.L3.Policy = p
+		if p.Stochastic() {
+			cfg.L3.Seed = *seed | 1
+		}
+	}
 	if *l4 > 0 {
 		cfg.L4 = &cache.Config{Name: "L4", Size: div(*l4 << 20), BlockSize: *block, Assoc: 1}
+	}
+	if *predict {
+		cfg.Predictor = &cache.PredictorConfig{}
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -120,4 +137,10 @@ func main() {
 		report("L4", h.L4Stats())
 	}
 	fmt.Printf("\nDRAM reads %d, writes %d\n", h.MemReads, h.MemWrites)
+	if *predict {
+		ps := h.PredictorStats()
+		fmt.Printf("\npredictor: coverage %.1f%%, hit %.1f%%, probe skip %.1f%% (lookups %d, jumps %d, bypasses %d)\n",
+			100*ps.CoverageRate(), 100*ps.HitRate(), 100*ps.SkipRate(),
+			ps.Lookups, ps.Jumps, ps.Bypasses)
+	}
 }

@@ -49,6 +49,11 @@ func main() {
 		tierNear   = flag.Float64("tier-near", 0, "restrict the tiered-memory sweeps (figT1/figT2) to one near:far split, e.g. 0.25 (0 = full grid)")
 		tierPolicy = flag.String("tier-policy", "", "restrict the tiered-memory sweeps to one placement policy: static, lru-epoch, or freq (empty = all)")
 		tierEpoch  = flag.Int64("tier-epoch", 0, "placement-epoch length in memory transactions (0 = derived from measured traffic)")
+
+		policy      = flag.String("policy", "", "restrict the replacement-policy sweep (figP1) to one policy: srrip, brrip, drrip, or srrip+db (empty = full grid; unknown names are an error)")
+		policyLevel = flag.String("policy-level", "", "restrict figP1 to one hierarchy level: L2, L3, or L4 (empty = all)")
+		predBits    = flag.Int("pred-bits", 0, "restrict the level-predictor sweep (figP2) to one table size in index bits, 4..24 (0 = full grid)")
+		predConf    = flag.Int("pred-conf", 0, "restrict figP2 to one confidence threshold, 1..3 (0 = full grid)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,25 @@ func main() {
 	}
 	if *traceSpill != "" && !*traceCompress {
 		fmt.Fprintln(os.Stderr, "-trace-spill requires -trace-compress")
+		os.Exit(2)
+	}
+	opts.CachePolicy = *policy
+	opts.PolicyLevel = *policyLevel
+	opts.PredBits = *predBits
+	opts.PredConf = *predConf
+	if *policy != "" {
+		// Fail fast on unknown policy names rather than deep in the sweep.
+		if _, _, err := experiments.ParsePolicyVariant(*policy); err != nil {
+			fmt.Fprintf(os.Stderr, "-policy: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *predBits != 0 && (*predBits < 4 || *predBits > 24) {
+		fmt.Fprintln(os.Stderr, "-pred-bits must be in 4..24")
+		os.Exit(2)
+	}
+	if *predConf != 0 && (*predConf < 1 || *predConf > 3) {
+		fmt.Fprintln(os.Stderr, "-pred-conf must be in 1..3")
 		os.Exit(2)
 	}
 	if *verbose {

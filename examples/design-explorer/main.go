@@ -5,6 +5,11 @@
 // near:far memory capacity splits under the tiered-memory cost model
 // (QPS per memory dollar, the figT1 economics).
 //
+// With -policy-panel (the default) it finishes by measuring the knobs inside
+// the chosen hierarchy: the replacement-policy zoo on the L3 and the
+// cache-level predictor, replaying a shrunken leaf trace (the figP1/figP2
+// axes at example scale).
+//
 //	go run ./examples/design-explorer
 //	go run ./examples/design-explorer -area 117 -isopower -mem-gib 64 -far-amat-pct 5
 package main
@@ -47,6 +52,8 @@ func main() {
 
 		memGiB     = flag.Float64("mem-gib", 64, "provisioned memory per leaf in GiB (tier sweep)")
 		farAMATPct = flag.Float64("far-amat-pct", 5, "modeled AMAT degradation when the cold working set lives far (run figT1 for measured values)")
+
+		policyPanel = flag.Bool("policy-panel", true, "measure L3 replacement policies and the level predictor on a shrunken leaf")
 	)
 	flag.Parse()
 
@@ -91,6 +98,50 @@ func main() {
 	fmt.Println("(the paper's §IV point: 23 cores / 1 MiB/core / 1 GiB L4 at +27%)")
 
 	tierSweep(best, ev, *memGiB, *farAMATPct)
+	if *policyPanel {
+		measurePolicies()
+	}
+}
+
+// measurePolicies replays a shrunken leaf under the replacement-policy zoo
+// on the L3 and once more with the cache-level predictor attached — the
+// figP1/figP2 axes at example scale. Stochastic policies get their seeds
+// derived from the run seed inside Measure, so repeat runs are identical.
+func measurePolicies() {
+	runner := searchmem.S1Leaf(16).Build()
+	base := searchmem.MeasureConfig{
+		Platform: searchmem.PLT1().ScaleCaches(16),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget: 600_000, Seed: 1,
+	}
+
+	fmt.Println("\nL3 replacement policies (measured, shrunken leaf):")
+	fmt.Printf("  %-10s %9s %8s\n", "policy", "L3 MPKI", "IPC")
+	var baseMPKI float64
+	for _, pol := range []searchmem.Policy{
+		searchmem.PolicyLRU, searchmem.PolicySRRIP,
+		searchmem.PolicyBRRIP, searchmem.PolicyDRRIP,
+	} {
+		mc := base
+		mc.L3Policy = pol
+		m := searchmem.Measure(runner, mc)
+		mpki := m.L3.MPKI(m.Instructions)
+		delta := ""
+		if pol == searchmem.PolicyLRU {
+			baseMPKI = mpki
+		} else if baseMPKI > 0 {
+			delta = fmt.Sprintf("  (%+.1f%% vs LRU)", 100*(mpki/baseMPKI-1))
+		}
+		fmt.Printf("  %-10s %9.3f %8.3f%s\n", pol, mpki, m.IPC, delta)
+	}
+
+	mc := base
+	mc.Predictor = &searchmem.PredictorConfig{}
+	m := searchmem.Measure(runner, mc)
+	ps := m.Pred
+	fmt.Printf("\ncache-level predictor (default table): coverage %.1f%%, hit %.1f%%, probe skip %.1f%%\n",
+		100*ps.CoverageRate(), 100*ps.HitRate(), 100*ps.SkipRate())
+	fmt.Println("(full grids: go run ./cmd/searchsim -fast figP1 figP2)")
 }
 
 // tierSweep extends the winning design below the L4: with the shard too big

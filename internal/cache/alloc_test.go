@@ -35,6 +35,10 @@ func TestCacheAccessBatchZeroAlloc(t *testing.T) {
 		"setassoc": {Size: 8 << 10, BlockSize: 64, Assoc: 4},
 		"fifo":     {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: FIFO},
 		"random":   {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: Random, Seed: 3},
+		"srrip":    {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: SRRIP},
+		"brrip":    {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: BRRIP, Seed: 5},
+		"drrip":    {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: DRRIP, Seed: 6},
+		"srrip+db": {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: SRRIP, DeadBlock: true},
 		"fa":       {Size: 4 << 10, BlockSize: 64, Assoc: 0},
 	}
 	for _, name := range det.SortedKeys(configs) {

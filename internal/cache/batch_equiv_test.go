@@ -53,6 +53,8 @@ type cacheSnap struct {
 	Occ    []uint16
 	Clock  uint64
 	Last   uint64
+	PSEL   int32
+	DB     []uint8
 	FAList []Line // fully-associative store in recency order
 }
 
@@ -63,6 +65,8 @@ func snapCache(c *Cache) cacheSnap {
 		Occ:   append([]uint16(nil), c.occ...),
 		Clock: c.clock,
 		Last:  c.lastBlock,
+		PSEL:  c.psel,
+		DB:    append([]uint8(nil), c.db...),
 	}
 	s.Stamps = append([]uint64(nil), c.stamps...)
 	s.Meta = append([]uint8(nil), c.meta...)
@@ -98,16 +102,29 @@ func snapHierarchy(h *Hierarchy) map[string]any {
 	if h.l4 != nil {
 		m["L4"] = snapCache(h.l4)
 	}
+	if h.pred != nil {
+		m["Pred"] = map[string]any{
+			"Tags":      append([]uint16(nil), h.pred.tags...),
+			"Level":     append([]uint8(nil), h.pred.level...),
+			"Conf":      append([]uint8(nil), h.pred.conf...),
+			"Stats":     h.pred.Stats,
+			"LastFetch": h.lastFetch,
+		}
+	}
 	return m
 }
 
 // equivConfigs is the hierarchy matrix the batched kernels must match the
-// scalar path on: every policy, way-partitioning, a fully-associative
-// level, split L2s, and both L4 victim modes.
+// scalar path on: every policy (including the RRIP family and dead-block
+// insertion), way-partitioning, a fully-associative level, split L2s, both
+// L4 victim modes, and the level predictor in both indexing modes.
 func equivConfigs() map[string]HierarchyConfig {
 	withPolicy := func(p Policy) HierarchyConfig {
 		cfg := tinyHierarchy(2, nil)
 		cfg.L1I.Policy, cfg.L1D.Policy, cfg.L2.Policy, cfg.L3.Policy = p, p, p, p
+		if p.Stochastic() {
+			cfg.L1I.Seed, cfg.L1D.Seed, cfg.L2.Seed, cfg.L3.Seed = 11, 12, 13, 14
+		}
 		return cfg
 	}
 	l4 := &Config{Size: 32 << 10, BlockSize: 64, Assoc: 4, Seed: 7}
@@ -115,8 +132,14 @@ func equivConfigs() map[string]HierarchyConfig {
 		"lru":    withPolicy(LRU),
 		"fifo":   withPolicy(FIFO),
 		"random": withPolicy(Random),
+		"srrip":  withPolicy(SRRIP),
+		"brrip":  withPolicy(BRRIP),
+		"drrip":  withPolicy(DRRIP),
 		"l4":     tinyHierarchy(2, l4),
 	}
+	db := withPolicy(SRRIP)
+	db.L2.DeadBlock, db.L3.DeadBlock = true, true
+	cfgs["srrip+db"] = db
 	aw := tinyHierarchy(2, nil)
 	aw.L3.AllocWays = 3
 	cfgs["allocways"] = aw
@@ -129,6 +152,17 @@ func equivConfigs() map[string]HierarchyConfig {
 	fm := tinyHierarchy(1, l4)
 	fm.L4FillOnMiss = true
 	cfgs["l4fillonmiss"] = fm
+	// Level predictor, per-PC keys, with an L4 (jump-to-L4 + bypass paths).
+	// A tiny low-confidence table maximizes acted-on predictions — and so
+	// mispredict-fallback coverage — on the small equivalence trace.
+	pp := tinyHierarchy(2, l4)
+	pp.Predictor = &PredictorConfig{TableBits: 8, ConfThreshold: 1, Seed: 5}
+	cfgs["pred"] = pp
+	// Block-indexed predictor without an L4 (jump-to-L3 + L3-bottom bypass),
+	// stacked on an RRIP L3 so the paths compose.
+	pb := withPolicy(SRRIP)
+	pb.Predictor = &PredictorConfig{TableBits: 8, ConfThreshold: 1, Seed: 9, IndexBlock: true}
+	cfgs["predblock"] = pb
 	return cfgs
 }
 
@@ -210,6 +244,10 @@ func TestCacheAccessBatchEquivalence(t *testing.T) {
 		"lru":       {Size: 8 << 10, BlockSize: 64, Assoc: 4},
 		"fifo":      {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: FIFO},
 		"random":    {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: Random, Seed: 3},
+		"srrip":     {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: SRRIP},
+		"brrip":     {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: BRRIP, Seed: 4},
+		"drrip":     {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: DRRIP, Seed: 5},
+		"srrip+db":  {Size: 8 << 10, BlockSize: 64, Assoc: 4, Policy: SRRIP, DeadBlock: true},
 		"allocways": {Size: 8 << 10, BlockSize: 64, Assoc: 8, AllocWays: 5},
 		"fa":        {Size: 8 << 10, BlockSize: 64, Assoc: 0},
 	}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"searchmem/internal/stats"
 	"searchmem/internal/trace"
@@ -18,6 +19,21 @@ const (
 	FIFO
 	// Random evicts a uniformly random line (ablation baseline).
 	Random
+	// SRRIP is static re-reference interval prediction (Jaleel et al.):
+	// 2-bit RRPVs, insertion at "long" (RRPV 2), promotion to "imminent"
+	// (RRPV 0) on hit, eviction of the leftmost "distant" (RRPV 3) way.
+	SRRIP
+	// BRRIP is bimodal RRIP: like SRRIP but inserting at "distant" except
+	// for a seeded 1-in-32 chance of "long", which protects the cache from
+	// scanning patterns larger than it.
+	BRRIP
+	// DRRIP set-duels SRRIP against BRRIP: a few leader sets run each
+	// policy and a saturating PSEL counter, trained on leader-set misses,
+	// picks the insertion policy for all follower sets.
+	DRRIP
+
+	// numPolicies bounds the valid Policy values for validation.
+	numPolicies
 )
 
 // String implements fmt.Stringer.
@@ -29,9 +45,50 @@ func (p Policy) String() string {
 		return "FIFO"
 	case Random:
 		return "random"
+	case SRRIP:
+		return "SRRIP"
+	case BRRIP:
+		return "BRRIP"
+	case DRRIP:
+		return "DRRIP"
 	default:
 		return fmt.Sprintf("policy(%d)", uint8(p))
 	}
+}
+
+// ParsePolicy converts a policy name (as printed by Policy.String, matched
+// case-insensitively) back to its value. Unknown names are an error — CLI
+// flags must reject them rather than silently falling back to LRU.
+func ParsePolicy(name string) (Policy, error) {
+	for p := LRU; p < numPolicies; p++ {
+		if strings.EqualFold(name, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q (valid: %s)", name, PolicyNames())
+}
+
+// PolicyNames lists the valid policy names, comma-separated, for flag help
+// and error messages.
+func PolicyNames() string {
+	names := make([]string, 0, int(numPolicies))
+	for p := LRU; p < numPolicies; p++ {
+		names = append(names, p.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// Stochastic reports whether the policy consumes the seeded RNG (and so
+// requires an explicit non-zero Seed for reproducibility): Random victim
+// choice, and BRRIP's bimodal insertion (which DRRIP inherits).
+func (p Policy) Stochastic() bool {
+	return p == Random || p == BRRIP || p == DRRIP
+}
+
+// RRIP reports whether the policy keeps 2-bit re-reference predictions in
+// the stamp array instead of recency/fill-order stamps.
+func (p Policy) RRIP() bool {
+	return p == SRRIP || p == BRRIP || p == DRRIP
 }
 
 // Config describes one cache.
@@ -53,8 +110,15 @@ type Config struct {
 	// exactly as the paper uses it: capacity and associativity shrink
 	// together (§III-D, §IV-B).
 	AllocWays int
-	// Seed seeds the Random replacement policy.
+	// Seed seeds the stochastic policies (Random victim choice, BRRIP and
+	// DRRIP bimodal insertion). Required non-zero for those policies.
 	Seed uint64
+	// DeadBlock enables dead-block-aware insertion for the RRIP policies:
+	// a small tag-hashed counter table, trained on evictions, predicts
+	// blocks that will not be reused and inserts them at "distant" RRPV so
+	// they are evicted first (the cache-hierarchy survey's dead-block
+	// bypassing, restricted to insertion-priority form).
+	DeadBlock bool
 }
 
 // Validate reports whether the configuration is internally consistent.
@@ -67,6 +131,15 @@ func (c Config) Validate() error {
 	}
 	if c.Assoc < 0 {
 		return fmt.Errorf("cache %q: negative associativity", c.Name)
+	}
+	if c.Policy >= numPolicies {
+		return fmt.Errorf("cache %q: unknown replacement policy %d (valid: %s)", c.Name, uint8(c.Policy), PolicyNames())
+	}
+	if c.Policy.Stochastic() && c.Seed == 0 {
+		return fmt.Errorf("cache %q: stochastic policy %s requires a non-zero Seed", c.Name, c.Policy)
+	}
+	if c.DeadBlock && !c.Policy.RRIP() {
+		return fmt.Errorf("cache %q: DeadBlock insertion requires an RRIP policy, got %s", c.Name, c.Policy)
 	}
 	blocks := c.Size / int64(c.BlockSize)
 	if blocks == 0 {
@@ -83,8 +156,8 @@ func (c Config) Validate() error {
 		if c.AllocWays != 0 {
 			return fmt.Errorf("cache %q: AllocWays unsupported for fully-associative caches", c.Name)
 		}
-		if c.Policy == Random {
-			return fmt.Errorf("cache %q: random replacement unsupported for fully-associative caches", c.Name)
+		if c.Policy != LRU && c.Policy != FIFO {
+			return fmt.Errorf("cache %q: policy %s unsupported for fully-associative caches (LRU and FIFO only)", c.Name, c.Policy)
 		}
 	}
 	return nil
@@ -110,7 +183,43 @@ const (
 	metaValid    = 1 << 0
 	metaDirty    = 1 << 1
 	metaSegShift = 2 // segment (2 bits) in bits 2-3
+	// metaReused marks a line that hit at least once since its fill; the
+	// dead-block predictor trains on it at eviction time.
+	metaReused = 1 << 4
 )
+
+// RRIP parameters. RRPVs live in the same stamps array LRU uses for recency
+// (values 0..rrpvMax), so the policies share the SoA layout and the batched
+// kernels' inlined probes.
+const (
+	// rrpvMax is the "distant re-reference" value evicted first.
+	rrpvMax = 3
+	// rrpvLong is SRRIP's insertion value ("long re-reference interval").
+	rrpvLong = 2
+	// brripInterval is BRRIP's bimodal rate: 1 in brripInterval fills
+	// insert at rrpvLong, the rest at rrpvMax.
+	brripInterval = 32
+	// duelMask/duelSRRIP/duelBRRIP carve DRRIP leader sets out of the set
+	// index: set ≡ duelSRRIP (mod duelMask+1) always inserts SRRIP-style,
+	// set ≡ duelBRRIP inserts BRRIP-style; the rest follow PSEL.
+	duelMask  = 31
+	duelSRRIP = 0
+	duelBRRIP = 17
+	// pselMax saturates the DRRIP policy-selection counter; values above
+	// the midpoint mean the SRRIP leaders are missing more (use BRRIP).
+	pselMax = 1023
+	// Dead-block predictor table: dbBits-entry 2-bit counters, indexed by
+	// a multiplicative hash of the block address. A counter at or above
+	// dbDeadAt predicts the block dead on arrival.
+	dbBits   = 10
+	dbMax    = 3
+	dbDeadAt = 2
+)
+
+// dbHash maps a block address into the dead-block counter table.
+func dbHash(block uint64) uint64 {
+	return block * 0x9e3779b97f4a7c15 >> (64 - dbBits)
+}
 
 // packMeta builds the meta byte for a valid line.
 func packMeta(seg trace.Segment, dirty bool) uint8 {
@@ -146,6 +255,15 @@ type Cache struct {
 	occ    []uint16 // valid lines per set; == allocWays lets fills skip the free-way scan
 	clock  uint64
 	isLRU  bool // cfg.Policy == LRU, hoisted out of the hot probe
+	isRRIP bool // cfg.Policy.RRIP(), hoisted out of the hot probe
+	isDB   bool // cfg.DeadBlock, hoisted out of the hot probe
+
+	// DRRIP set-dueling state: PSEL counts SRRIP-leader misses up and
+	// BRRIP-leader misses down; followers insert BRRIP-style while it sits
+	// above the midpoint.
+	psel int32
+	// Dead-block predictor counters (nil unless cfg.DeadBlock).
+	db []uint8
 
 	// Set indexing: block % numSets, strength-reduced to block & setMask
 	// when the set count is a power of two (pow2Sets). The hardware divide
@@ -192,7 +310,18 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, rng: stats.NewRNG(cfg.Seed ^ 0x5eedcafe), isLRU: cfg.Policy == LRU, lastBlock: invalidTag}
+	c := &Cache{
+		cfg:       cfg,
+		rng:       stats.NewRNG(cfg.Seed ^ 0x5eedcafe),
+		isLRU:     cfg.Policy == LRU,
+		isRRIP:    cfg.Policy.RRIP(),
+		isDB:      cfg.DeadBlock,
+		psel:      pselMax / 2,
+		lastBlock: invalidTag,
+	}
+	if cfg.DeadBlock {
+		c.db = make([]uint8, 1<<dbBits)
+	}
 	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
 		c.blockShift++
 	}
@@ -283,10 +412,7 @@ func (c *Cache) AccessBatch(batch []trace.Access) int64 {
 				if a.Kind == trace.Write {
 					c.meta[idx] |= metaDirty
 				}
-				if c.isLRU {
-					c.clock++
-					c.stamps[idx] = c.clock
-				}
+				c.promote(int(idx))
 				hit = true
 			} else if c.assoc != 0 {
 				base := c.setBase(b)
@@ -297,10 +423,7 @@ func (c *Cache) AccessBatch(batch []trace.Access) int64 {
 						if a.Kind == trace.Write {
 							c.meta[idx] |= metaDirty
 						}
-						if c.isLRU {
-							c.clock++
-							c.stamps[idx] = c.clock
-						}
+						c.promote(idx)
 						c.lastBlock, c.lastIdx = b, int32(idx)
 						hit = true
 						break
@@ -318,6 +441,22 @@ func (c *Cache) AccessBatch(batch []trace.Access) int64 {
 		}
 	}
 	return hits
+}
+
+// promote updates replacement state for a hit on slot idx: LRU bumps the
+// recency stamp, RRIP promotes to "imminent" (RRPV 0) and feeds the
+// dead-block predictor's reuse bit; FIFO and Random ignore hits. Small and
+// call-free so the batched kernels' inlined probes keep it in registers.
+func (c *Cache) promote(idx int) {
+	if c.isLRU {
+		c.clock++
+		c.stamps[idx] = c.clock
+	} else if c.isRRIP {
+		c.stamps[idx] = 0
+		if c.isDB {
+			c.meta[idx] |= metaReused
+		}
+	}
 }
 
 // touch probes and updates recency/dirty without recording stats.
@@ -340,10 +479,7 @@ func (c *Cache) touch(block uint64, write bool) bool {
 		if write {
 			c.meta[i] |= metaDirty
 		}
-		if c.isLRU {
-			c.clock++
-			c.stamps[i] = c.clock
-		}
+		c.promote(int(i))
 		return true
 	}
 	base := c.setBase(block)
@@ -352,10 +488,7 @@ func (c *Cache) touch(block uint64, write bool) bool {
 		if write {
 			c.meta[i] |= metaDirty
 		}
-		if c.isLRU {
-			c.clock++
-			c.stamps[i] = c.clock
-		}
+		c.promote(i)
 		c.lastBlock, c.lastIdx = block, int32(i)
 		return true
 	}
@@ -415,8 +548,27 @@ func (c *Cache) fillAbsent(block uint64, seg trace.Segment, dirty bool) (evicted
 		}
 		c.occ[set]++
 	} else {
-		switch c.cfg.Policy {
-		case Random:
+		switch {
+		case c.isRRIP:
+			// Evict the leftmost way with the maximum RRPV, after aging
+			// every way up so that maximum reaches "distant" (3). One
+			// scan + one conditional sweep is equivalent to the textbook
+			// "repeat until a 3 is found" loop: aging preserves order, so
+			// the first way to reach 3 is the leftmost current maximum.
+			st := c.stamps[base : base+c.allocWays]
+			victim = 0
+			maxv := st[0]
+			for w := 1; w < len(st); w++ {
+				if s := st[w]; s > maxv {
+					victim, maxv = w, s
+				}
+			}
+			if d := rrpvMax - maxv; d != 0 {
+				for w := range st {
+					st[w] += d
+				}
+			}
+		case c.cfg.Policy == Random:
 			victim = c.rng.Intn(c.allocWays)
 		default: // LRU and FIFO both evict the minimum stamp
 			st := c.stamps[base : base+c.allocWays]
@@ -431,6 +583,19 @@ func (c *Cache) fillAbsent(block uint64, seg trace.Segment, dirty bool) (evicted
 		i := base + victim
 		evicted = Line{BlockAddr: c.tags[i], Dirty: c.meta[i]&metaDirty != 0, Seg: metaSeg(c.meta[i])}
 		ok = true
+		if c.isDB {
+			// Train the dead-block predictor on the evicted line's fate:
+			// lines that left without a single hit push their address hash
+			// toward "dead", reused lines pull it back.
+			hsh := dbHash(c.tags[i])
+			if c.meta[i]&metaReused != 0 {
+				if c.db[hsh] > 0 {
+					c.db[hsh]--
+				}
+			} else if c.db[hsh] < dbMax {
+				c.db[hsh]++
+			}
+		}
 		if c.tags[i] == c.lastBlock {
 			c.lastBlock = invalidTag
 		}
@@ -438,7 +603,11 @@ func (c *Cache) fillAbsent(block uint64, seg trace.Segment, dirty bool) (evicted
 	c.clock++
 	i := base + victim
 	c.tags[i] = block
-	c.stamps[i] = c.clock
+	if c.isRRIP {
+		c.stamps[i] = c.rripInsert(set, block)
+	} else {
+		c.stamps[i] = c.clock
+	}
 	c.meta[i] = packMeta(seg, dirty)
 	c.lastBlock, c.lastIdx = block, int32(i)
 	if ok && c.OnEvict != nil {
@@ -446,6 +615,44 @@ func (c *Cache) fillAbsent(block uint64, seg trace.Segment, dirty bool) (evicted
 		c.OnEvict(evicted)
 	}
 	return evicted, ok
+}
+
+// rripInsert picks the insertion RRPV for a fill into set: SRRIP inserts at
+// "long", BRRIP at "distant" except a seeded 1-in-brripInterval chance of
+// "long", and DRRIP picks between the two per set via set-dueling (leader
+// sets also train PSEL — a fill is a miss, so a fill into a leader set is a
+// vote against its policy). A dead-block-predicted address overrides to
+// "distant" so it is the set's first victim. Every fill path (demand and
+// writeback) goes through here, keeping the RNG consumption — and so the
+// whole simulation — identical between scalar and batched replay.
+func (c *Cache) rripInsert(set int, block uint64) uint64 {
+	bimodal := false
+	switch c.cfg.Policy {
+	case BRRIP:
+		bimodal = true
+	case DRRIP:
+		switch set & duelMask {
+		case duelSRRIP:
+			if c.psel < pselMax {
+				c.psel++
+			}
+		case duelBRRIP:
+			bimodal = true
+			if c.psel > 0 {
+				c.psel--
+			}
+		default:
+			bimodal = c.psel > pselMax/2
+		}
+	}
+	ins := uint64(rrpvLong)
+	if bimodal && c.rng.Intn(brripInterval) != 0 {
+		ins = rrpvMax
+	}
+	if c.isDB && c.db[dbHash(block)] >= dbDeadAt {
+		ins = rrpvMax
+	}
+	return ins
 }
 
 // Invalidate removes block if present, returning its line. Used for
@@ -514,6 +721,10 @@ func (c *Cache) Reset() {
 	c.Stats = AccessStats{}
 	c.clock = 0
 	c.lastBlock = invalidTag
+	c.psel = pselMax / 2
+	for i := range c.db {
+		c.db[i] = 0
+	}
 	if c.assoc == 0 {
 		c.faIndex = make(map[uint64]int32, c.faCap)
 		c.faNodes = c.faNodes[:0]

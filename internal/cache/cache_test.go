@@ -99,6 +99,7 @@ func TestFIFOIgnoresReuse(t *testing.T) {
 func TestRandomPolicyEvictsWithinSet(t *testing.T) {
 	cfg := smallCfg(16)
 	cfg.Policy = Random
+	cfg.Seed = 3
 	c := New(cfg)
 	for b := uint64(0); b < 16; b++ {
 		c.Fill(b, trace.Heap, false)

@@ -34,6 +34,13 @@ type HierarchyConfig struct {
 	// L4FillOnMiss fills the L4 on memory fetches instead of on L3
 	// evictions (ablation of the victim-fill design choice).
 	L4FillOnMiss bool
+	// Predictor, when non-nil, attaches a cache-level predictor to the
+	// post-L1 path: confident predictions jump straight to the predicted
+	// level (or bypass to memory) and verify there, skipping the
+	// intermediate serial probes. Functional behaviour — contents, hit/
+	// miss statistics, memory traffic — is unchanged; the predictor
+	// overlays probe accounting (Jalili & Erez, see DESIGN.md §15).
+	Predictor *PredictorConfig
 }
 
 // Validate reports whether the hierarchy configuration is consistent.
@@ -62,6 +69,11 @@ func (hc HierarchyConfig) Validate() error {
 		if hc.L4.BlockSize != hc.L3.BlockSize {
 			return fmt.Errorf("hierarchy: L4 block size %d must equal L3 block size %d",
 				hc.L4.BlockSize, hc.L3.BlockSize)
+		}
+	}
+	if hc.Predictor != nil {
+		if err := hc.Predictor.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -99,6 +111,17 @@ type Hierarchy struct {
 
 	// mem, when non-nil, observes every main-memory transaction.
 	mem MemSink
+
+	// Level-predictor state (nil/false without cfg.Predictor). trackFetch
+	// is hoisted so the batched kernel pays one predictable branch when the
+	// predictor is off; lastFetch[t] is thread t's most recent fetch block,
+	// the per-PC stand-in key. memProbes is the number of post-L1 probes a
+	// full chain performs on a memory-serviced access (2, or 3 with an L4),
+	// precomputed for the probe-skip accounting.
+	pred       *levelPredictor
+	trackFetch bool
+	lastFetch  [256]uint64
+	memProbes  int64
 }
 
 // MemSink observes every main-memory transaction the hierarchy issues:
@@ -189,6 +212,15 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	}
 	h.l3.OnEvict = h.onL3Evict
 	h.l1Shift = h.l1d[0].blockShift
+	h.memProbes = 2
+	if h.l4 != nil {
+		h.memProbes = 3
+	}
+	if cfg.Predictor != nil {
+		pc := cfg.Predictor.withDefaults()
+		h.pred = newLevelPredictor(pc)
+		h.trackFetch = !pc.IndexBlock
+	}
 	for t := 0; t < 256; t++ {
 		core := h.coreFor(uint8(t))
 		h.dataL1[t] = h.l1d[core]
@@ -268,9 +300,12 @@ func (h *Hierarchy) Access(a trace.Access) HitLevel {
 	}
 	first := a.Addr >> h.l1Shift
 	last := (a.Addr + size - 1) >> h.l1Shift
+	if h.trackFetch && a.Kind == trace.Fetch {
+		h.lastFetch[a.Thread] = first
+	}
 	deepest := HitL1
 	for b := first; b <= last; b++ {
-		if lvl := h.accessBlock(l1, l2, b<<h.l1Shift, a.Seg, a.Kind); lvl > deepest {
+		if lvl := h.accessBlock(l1, l2, a.Thread, b<<h.l1Shift, a.Seg, a.Kind); lvl > deepest {
 			deepest = lvl
 		}
 	}
@@ -339,6 +374,12 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 		}
 		first := a.Addr >> shift
 		last := (a.Addr + size - 1) >> shift
+		if h.trackFetch && a.Kind == trace.Fetch {
+			// The level predictor's "per-PC" key: the most recent
+			// instruction-fetch block of this thread stands in for the
+			// program counter (the trace carries no PC field).
+			h.lastFetch[a.Thread] = first
+		}
 		// Mask/clamp the array indices once so every stats increment below
 		// is bounds-check free (generators only emit in-range values; the
 		// clamp branch never fires and predicts perfectly, unlike a mod).
@@ -358,10 +399,7 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 				if kind == trace.Write {
 					l1.meta[idx] |= metaDirty
 				}
-				if l1.isLRU {
-					l1.clock++
-					l1.stamps[idx] = l1.clock
-				}
+				l1.promote(int(idx))
 				hit = true
 			} else if l1.assoc != 0 {
 				base := l1.setBase(b)
@@ -372,10 +410,7 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 						if kind == trace.Write {
 							l1.meta[idx] |= metaDirty
 						}
-						if l1.isLRU {
-							l1.clock++
-							l1.stamps[idx] = l1.clock
-						}
+						l1.promote(idx)
 						l1.lastBlock, l1.lastIdx = b, int32(idx)
 						hit = true
 						break
@@ -389,7 +424,13 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 				continue
 			}
 			l1.Stats.Misses[seg][kind]++
-			if lvl := h.missPath(l1, l2, b<<shift, seg, kind); lvl > deepest {
+			var lvl HitLevel
+			if h.pred == nil {
+				lvl = h.missPath(l1, l2, b<<shift, seg, kind)
+			} else {
+				lvl = h.predictPath(l1, l2, a.Thread, b<<shift, seg, kind)
+			}
+			if lvl > deepest {
 				deepest = lvl
 			}
 		}
@@ -403,9 +444,12 @@ func (h *Hierarchy) AccessBatch(batch []trace.Access, levels []HitLevel) []HitLe
 
 // accessBlock probes the levels in order and performs the fill cascade,
 // returning the servicing level.
-func (h *Hierarchy) accessBlock(l1, l2 *Cache, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
+func (h *Hierarchy) accessBlock(l1, l2 *Cache, thread uint8, byteAddr uint64, seg trace.Segment, kind trace.Kind) HitLevel {
 	if l1.Access(l1.BlockAddr(byteAddr), seg, kind) {
 		return HitL1
+	}
+	if h.pred != nil {
+		return h.predictPath(l1, l2, thread, byteAddr, seg, kind)
 	}
 	return h.missPath(l1, l2, byteAddr, seg, kind)
 }
@@ -552,6 +596,15 @@ func (h *Hierarchy) L4Stats() AccessStats {
 // HasL4 reports whether an L4 is configured.
 func (h *Hierarchy) HasL4() bool { return h.l4 != nil }
 
+// PredictorStats returns the level predictor's counters; it returns a zero
+// value when no predictor is configured.
+func (h *Hierarchy) PredictorStats() PredictorStats {
+	if h.pred == nil {
+		return PredictorStats{}
+	}
+	return h.pred.Stats
+}
+
 // L3 exposes the shared L3 cache (read-only use intended).
 func (h *Hierarchy) L3() *Cache { return h.l3 }
 
@@ -576,6 +629,11 @@ func (h *Hierarchy) ResetStats() {
 	}
 	h.MemReads, h.MemWrites = 0, 0
 	h.PrefetchFills, h.PrefetchMemReads = 0, 0
+	if h.pred != nil {
+		// Keep the trained table (it is cache-like warm state, reset only
+		// by Reset) but zero the counters, like every cache's Stats.
+		h.pred.Stats = PredictorStats{}
+	}
 }
 
 // Reset clears all cache contents and statistics.
@@ -591,4 +649,8 @@ func (h *Hierarchy) Reset() {
 	}
 	h.MemReads, h.MemWrites = 0, 0
 	h.PrefetchFills, h.PrefetchMemReads = 0, 0
+	if h.pred != nil {
+		h.pred.reset()
+	}
+	h.lastFetch = [256]uint64{}
 }

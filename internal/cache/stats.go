@@ -26,6 +26,14 @@ type AccessStats struct {
 	WritebackFills int64
 	// BackInvalidations counts lines invalidated to preserve inclusion.
 	BackInvalidations int64
+	// PredHits counts level-prediction verifications this cache confirmed;
+	// PredMispredicts counts mispredictions charged to it (a wasted
+	// verification probe here, or — for a wrong memory bypass — the access
+	// this level serviced). PredSkips counts serial probes of this cache a
+	// verified prediction avoided. All three are overlay accounting: the
+	// Hits/Misses counters are measured by the authoritative probe chain
+	// and are identical predictor-on and predictor-off (DESIGN.md §15).
+	PredHits, PredMispredicts, PredSkips int64
 }
 
 // Add accumulates other into s.
@@ -38,6 +46,9 @@ func (s *AccessStats) Add(other *AccessStats) {
 	}
 	s.WritebackFills += other.WritebackFills
 	s.BackInvalidations += other.BackInvalidations
+	s.PredHits += other.PredHits
+	s.PredMispredicts += other.PredMispredicts
+	s.PredSkips += other.PredSkips
 }
 
 // record tallies one probe outcome.

@@ -32,15 +32,16 @@ func renderIDs(t *testing.T, opts Options, ids []string) string {
 // experiment level: with -trace-compress (and with spill-to-disk on top),
 // rendered output is byte-for-byte the flat-storage output. fig6b exercises
 // the batched Cursor profile path, fig13 the scalar replay path through the
-// SMT model, table1 the measured characterization, and figT1 the
-// tiered-memory sweep (post-L4 traffic driven into internal/mem).
+// SMT model, table1 the measured characterization, figT1 the tiered-memory
+// sweep (post-L4 traffic driven into internal/mem), and figP1 the
+// replacement-policy grid (seeded BRRIP insertion under batched replay).
 func TestCompressedReplayByteIdentical(t *testing.T) {
-	ids := []string{"table1", "fig6b", "fig13", "figT1"}
+	ids := []string{"table1", "fig6b", "fig13", "figT1", "figP1"}
 	if testing.Short() {
 		ids = []string{"fig6b", "fig13"}
 	} else if raceDetectorOn {
 		// Same race-mode time-budget trade as TestSameSeedByteIdenticalOutput.
-		ids = ids[:len(ids)-1]
+		ids = ids[:len(ids)-2]
 	}
 
 	base := Fast()

@@ -16,20 +16,21 @@ import (
 func TestSameSeedByteIdenticalOutput(t *testing.T) {
 	// A cross-section of the pipeline: measured workload characterization
 	// (table1), MPKI curves (fig2a), the L4 headline (fig6b), the SMT
-	// model (fig13), the fault-injected serving tier (degraded), and the
+	// model (fig13), the fault-injected serving tier (degraded), the
 	// tiered-memory sweeps (figT1/figT2), whose DRAM bank state and
 	// page-migration engine must replay identically under the parallel
-	// engine.
-	ids := []string{"table1", "fig2a", "fig6b", "fig13", "degraded", "figT1", "figT2"}
+	// engine, and the policy/predictor sweeps (figP1/figP2), whose seeded
+	// BRRIP insertion and predictor tables must do the same.
+	ids := []string{"table1", "fig2a", "fig6b", "fig13", "degraded", "figT1", "figT2", "figP1", "figP2"}
 	if testing.Short() {
-		ids = []string{"table1", "fig13"}
+		ids = []string{"table1", "fig13", "figP2"}
 	} else if raceDetectorOn {
-		// The tier sweeps push this package past the default race-mode
-		// time budget (the seed id list alone is ~8 min under -race).
-		// Byte-identity does not depend on instrumentation, and the tier
-		// engine's race coverage lives in the tier tests and
+		// The tier and policy sweeps push this package past the default
+		// race-mode time budget (the seed id list alone is ~8 min under
+		// -race). Byte-identity does not depend on instrumentation, and
+		// the sweep engines' race coverage lives in the tier tests and
 		// TestSharingContextsConcurrent.
-		ids = ids[:len(ids)-2]
+		ids = ids[:len(ids)-4]
 	}
 
 	render := func(parallel bool) string {

@@ -58,6 +58,19 @@ type Options struct {
 	// transactions (0 = derived from the measured traffic so several epochs
 	// fit in the run; cmd/searchsim -tier-epoch).
 	TierEpochLen int64
+	// CachePolicy, when non-empty, restricts the replacement-policy sweep
+	// (figP1) to one policy ("lru", "srrip", "brrip", "drrip", or
+	// "srrip+db"; cmd/searchsim -policy).
+	CachePolicy string
+	// PolicyLevel, when non-empty, restricts figP1 to one hierarchy level
+	// ("L2", "L3", or "L4"; cmd/searchsim -policy-level).
+	PolicyLevel string
+	// PredBits, when positive, restricts the predictor sweep (figP2) to one
+	// table size in index bits (cmd/searchsim -pred-bits).
+	PredBits int
+	// PredConf, when positive, restricts figP2 to one confidence threshold
+	// in [1, 3] (cmd/searchsim -pred-conf).
+	PredConf int
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
 	// Tracer, when non-nil, collects distributed traces from experiments

@@ -22,6 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"degraded",       // §II extension: fault-tolerant serving tier
 		"fleetprof",      // §II methodology: GWP-style sampled profiling
 		"figT1", "figT2", // tiered-memory extension (Mahar et al.)
+		"figP1", "figP2", // policy zoo + level predictor (Jaleel; Jalili & Erez)
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

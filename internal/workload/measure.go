@@ -65,6 +65,19 @@ type MeasureConfig struct {
 	// BranchObserver, when non-nil, sees every measured-phase branch and
 	// whether it mispredicted.
 	BranchObserver func(thread uint8, mispredict bool)
+	// L1Policy, L2Policy, L3Policy, and L4Policy select the replacement
+	// policy per level (the zero value, cache.LRU, keeps the platform
+	// default). Stochastic policies (Random, BRRIP, DRRIP) need a non-zero
+	// per-cache seed; buildHierarchy derives one deterministically from
+	// Seed and a per-level salt, so repeat runs stay byte-identical.
+	L1Policy, L2Policy, L3Policy, L4Policy cache.Policy
+	// DeadBlock enables dead-block-aware insertion on every level running
+	// an RRIP-family policy (it is a no-op for LRU/FIFO/Random levels).
+	DeadBlock bool
+	// Predictor, when non-nil, attaches a cache-level predictor to the
+	// hierarchy. The config is copied; a zero Predictor.Seed is defaulted
+	// from Seed so prediction tables hash deterministically per run.
+	Predictor *cache.PredictorConfig
 	// Mem, when non-nil, attaches a tiered main-memory model (internal/mem)
 	// below the hierarchy: post-L4 traffic runs through its DRAM bank/row-
 	// buffer near tier and optional far tier, Metrics.Mem carries its
@@ -97,6 +110,9 @@ type Metrics struct {
 	L1, L2, L3, L4 cache.AccessStats
 	// MemReads and MemWrites are raw DRAM transaction counts.
 	MemReads, MemWrites int64
+	// Pred carries the cache-level predictor's counters when
+	// MeasureConfig.Predictor was set (all zero otherwise).
+	Pred cache.PredictorStats
 	// Instructions measured; Run carries the workload-level counters.
 	Instructions int64
 	Run          Stats
@@ -149,6 +165,35 @@ func buildHierarchy(mc MeasureConfig) (h *cache.Hierarchy, sys *mem.System, l4Hi
 		if l4Hit == 0 {
 			l4Hit = 40
 		}
+	}
+	// Replacement-policy overrides. Stochastic policies draw from a
+	// per-cache RNG; the seed is derived from the run seed and a per-level
+	// salt so every level streams independently yet repeat runs match.
+	applyPolicy := func(c *cache.Config, p cache.Policy, salt uint64) {
+		if p == cache.LRU {
+			return // zero value: keep the platform default
+		}
+		c.Policy = p
+		if p.Stochastic() && c.Seed == 0 {
+			c.Seed = (mc.Seed | 1) * salt
+		}
+		if mc.DeadBlock && p.RRIP() {
+			c.DeadBlock = true
+		}
+	}
+	applyPolicy(&hcfg.L1I, mc.L1Policy, 0x9e3779b97f4a7c15)
+	applyPolicy(&hcfg.L1D, mc.L1Policy, 0xbf58476d1ce4e5b9)
+	applyPolicy(&hcfg.L2, mc.L2Policy, 0x94d049bb133111eb)
+	applyPolicy(&hcfg.L3, mc.L3Policy, 0xd6e8feb86659fd93)
+	if hcfg.L4 != nil {
+		applyPolicy(hcfg.L4, mc.L4Policy, 0xa0761d6478bd642f)
+	}
+	if mc.Predictor != nil {
+		pc := *mc.Predictor
+		if pc.Seed == 0 {
+			pc.Seed = mc.Seed | 1
+		}
+		hcfg.Predictor = &pc
 	}
 	h = cache.NewHierarchy(hcfg)
 	if mc.Mem != nil {
@@ -235,6 +280,7 @@ func reduce(r Runner, mc MeasureConfig, h *cache.Hierarchy, sys *mem.System, pre
 		L4:           h.L4Stats(),
 		MemReads:     h.MemReads,
 		MemWrites:    h.MemWrites,
+		Pred:         h.PredictorStats(),
 	}
 	instr := run.Instructions
 	if instr == 0 {

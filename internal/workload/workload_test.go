@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
+	"searchmem/internal/cache"
 	"searchmem/internal/platform"
 	"searchmem/internal/trace"
 )
@@ -271,6 +273,41 @@ func TestMeasureCATReducesHitRate(t *testing.T) {
 	}
 	if partitioned.IPC >= full.IPC {
 		t.Fatalf("CAT partitioning did not reduce IPC: %v vs %v", partitioned.IPC, full.IPC)
+	}
+}
+
+// TestMeasurePolicyAndPredictorPlumbing checks the per-level policy knobs
+// reach the hierarchy (stochastic seeds derived deterministically from the
+// run seed) and the level predictor's counters surface in Metrics.Pred —
+// with repeat runs byte-identical.
+func TestMeasurePolicyAndPredictorPlumbing(t *testing.T) {
+	cfg := MeasureConfig{
+		Platform: platform.PLT1().ScaleCaches(16),
+		Cores:    1, SMTWays: 1, Threads: 1,
+		Budget: 400_000, Seed: 4,
+		L2Policy: cache.SRRIP, L3Policy: cache.DRRIP,
+		DeadBlock: true,
+		Predictor: &cache.PredictorConfig{TableBits: 12, ConfThreshold: 2},
+	}
+	run := func() Metrics { return Measure(tinyLeaf().Build(), cfg) }
+	m := run()
+	if m.Pred.Lookups == 0 {
+		t.Fatal("predictor saw no lookups")
+	}
+	if m.Pred.ProbesBaseline == 0 || m.Pred.ProbesPerformed > m.Pred.ProbesBaseline {
+		t.Fatalf("probe accounting inconsistent: %+v", m.Pred)
+	}
+	if m.IPC <= 0 || m.L3HitRate <= 0 {
+		t.Fatalf("degenerate metrics: IPC=%v L3=%v", m.IPC, m.L3HitRate)
+	}
+	if !reflect.DeepEqual(m, run()) {
+		t.Fatal("repeat run with stochastic policies + predictor diverged")
+	}
+	// Predictor-less baseline reports zero predictor counters.
+	base := cfg
+	base.Predictor = nil
+	if Measure(tinyLeaf().Build(), base).Pred != (cache.PredictorStats{}) {
+		t.Fatal("predictor-less run reported predictor counters")
 	}
 }
 

@@ -113,6 +113,40 @@ type Hierarchy = cache.Hierarchy
 // NewHierarchy builds a hierarchy.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy { return cache.NewHierarchy(cfg) }
 
+// AccessStats is one cache level's hit/miss counter snapshot.
+type AccessStats = cache.AccessStats
+
+// Policy selects a cache's replacement policy (CacheConfig.Policy).
+type Policy = cache.Policy
+
+// Replacement policies. The stochastic ones (Random, BRRIP, DRRIP) require
+// an explicit CacheConfig.Seed for reproducibility.
+const (
+	PolicyLRU    = cache.LRU
+	PolicyFIFO   = cache.FIFO
+	PolicyRandom = cache.Random
+	PolicySRRIP  = cache.SRRIP
+	PolicyBRRIP  = cache.BRRIP
+	PolicyDRRIP  = cache.DRRIP
+)
+
+// ParsePolicy converts a policy name (case-insensitive; see PolicyNames)
+// back to its value. Unknown names are an error, never a silent fallback.
+func ParsePolicy(name string) (Policy, error) { return cache.ParsePolicy(name) }
+
+// PolicyNames lists the valid replacement-policy names for flag help.
+func PolicyNames() string { return cache.PolicyNames() }
+
+// PredictorConfig enables the per-PC cache-level predictor on a hierarchy
+// (HierarchyConfig.Predictor). The predictor overlays probe accounting on
+// the authoritative probe chain: hits, misses, and memory traffic are
+// byte-identical predictor-on and predictor-off.
+type PredictorConfig = cache.PredictorConfig
+
+// PredictorStats is the level predictor's counter snapshot (coverage, hit
+// rate, probe-skip rate).
+type PredictorStats = cache.PredictorStats
+
 // StackDist is the one-pass LRU stack-distance (reuse) profiler.
 type StackDist = cache.StackDist
 
