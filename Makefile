@@ -41,7 +41,7 @@ race:
 # themselves out of `make race`). This is the dynamic backstop for the
 # static hotalloc analyzer.
 alloc-check:
-	$(GO) test -run ZeroAlloc ./internal/cache ./internal/trace ./internal/workload ./internal/mem
+	$(GO) test -run ZeroAlloc ./internal/cache ./internal/trace ./internal/workload ./internal/mem ./internal/serving
 
 # obs-demo exercises the observability stack end to end: the fleetprof
 # experiment at fast scale with distributed-trace and metrics-registry
@@ -61,6 +61,8 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_kernel.json bench_kernel.out
 	$(GO) test -run '^$$' -bench 'BenchmarkMemSystem' -timeout 30m $(BENCHARGS) . | tee bench_mem.out
 	$(GO) run ./cmd/benchjson -o BENCH_mem.json bench_mem.out
+	$(GO) test -run '^$$' -bench 'BenchmarkRunLoadEngine|BenchmarkFleetMillionUsers' -benchtime 1x -timeout 30m $(BENCHARGS) . | tee bench_serve.out
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json bench_serve.out
 
 # fuzz-smoke runs each trace-codec fuzz target briefly (seed corpus plus
 # $(FUZZTIME) of coverage-guided exploration per target). The contract under

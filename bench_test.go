@@ -11,6 +11,7 @@ package searchmem
 // cost. Custom metrics carry the reproduced headline numbers.
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -782,4 +783,80 @@ func BenchmarkAblationPredictorGshare(b *testing.B) {
 // BenchmarkAblationPredictorTournament is the tournament variant.
 func BenchmarkAblationPredictorTournament(b *testing.B) {
 	ablationPredictor(b, func() cpu.Predictor { return cpu.NewTournament(14) })
+}
+
+// --- fleet load-engine benchmarks (DESIGN.md §16) ---
+
+// BenchmarkRunLoadEngine measures the closed-loop load drivers in
+// events/sec: the event-heap engine (RunLoad, O(log n) per issued query on
+// the pooled serial serve path) against the retained linear-scan reference
+// (RunLoadScan, O(n) per query through the concurrent Serve path). The scan
+// side stops at 10k clients — beyond that the quadratic term dominates the
+// benchmark budget, which is the point.
+func BenchmarkRunLoadEngine(b *testing.B) {
+	type size struct{ clients, qpc int }
+	heap := []size{{1000, 20}, {10_000, 5}, {100_000, 2}, {1_000_000, 1}}
+	scan := []size{{1000, 20}, {10_000, 5}}
+	if testing.Short() {
+		heap = []size{{1000, 5}, {10_000, 2}, {50_000, 1}}
+		scan = []size{{1000, 5}, {10_000, 1}}
+	}
+	run := func(sizes []size, name string, drive func(c *serving.Cluster, clients, qpc int)) {
+		for _, s := range sizes {
+			s := s
+			b.Run(fmt.Sprintf("%s/%d", name, s.clients), func(b *testing.B) {
+				c := serving.NewCluster(serving.DefaultConfig(), nil)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					drive(c, s.clients, s.qpc)
+				}
+				queries := float64(s.clients) * float64(s.qpc) * float64(b.N)
+				b.ReportMetric(queries/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
+	run(heap, "heap", func(c *serving.Cluster, clients, qpc int) {
+		serving.RunLoad(c, clients, qpc, 400, 1.1, 9)
+	})
+	run(scan, "scan", func(c *serving.Cluster, clients, qpc int) {
+		serving.RunLoadScan(c, clients, qpc, 400, 1.1, 9)
+	})
+}
+
+// BenchmarkFleetMillionUsers drives the headline fleet scenario: a million
+// modeled users (50k under -short) issuing open-loop against a diurnal rate
+// curve with a flash crowd, on one cluster. The engine events/sec metric
+// counts query issues, completion pops, and timeline actions.
+func BenchmarkFleetMillionUsers(b *testing.B) {
+	clients, durNS := 1_000_000, 2e9
+	if testing.Short() {
+		clients, durNS = 50_000, 5e8
+	}
+	cfg := serving.DefaultConfig()
+	cfg.LeafCapacity = 400
+	cfg.LeafDeadlineNS = 40e6
+	cfg.HedgeDelayNS = 5e6
+	sc := serving.Scenario{
+		Clients:   clients,
+		VocabSize: 3000,
+		Skew:      0.9,
+		Seed:      7,
+		Arrival: &serving.RateCurve{
+			BaseQPS:          20_000,
+			DiurnalAmplitude: 0.25,
+			DiurnalPeriodNS:  durNS / 2,
+			Bursts:           []serving.Burst{{StartNS: 0.4 * durNS, EndNS: 0.5 * durNS, Factor: 2}},
+		},
+		DurationNS: durNS,
+	}
+	c := serving.NewCluster(cfg, nil)
+	var events, served int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := serving.RunScenario(c, sc)
+		events += fs.EventsProcessed
+		served += fs.Served
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(served)/float64(b.N), "queries/run")
 }

@@ -54,6 +54,9 @@ func main() {
 		policyLevel = flag.String("policy-level", "", "restrict figP1 to one hierarchy level: L2, L3, or L4 (empty = all)")
 		predBits    = flag.Int("pred-bits", 0, "restrict the level-predictor sweep (figP2) to one table size in index bits, 4..24 (0 = full grid)")
 		predConf    = flag.Int("pred-conf", 0, "restrict figP2 to one confidence threshold, 1..3 (0 = full grid)")
+
+		fleetScenario = flag.String("fleet-scenario", "", "restrict the fleet-scale serving sweep (figF1) to one scenario: steady, diurnal, flash, reload, or outage (empty = all; unknown names are an error)")
+		fleetClients  = flag.Int("fleet-clients", 0, "modeled user population for the fleet sweeps (figF1/figF2; 0 = shrink-scaled default)")
 	)
 	flag.Parse()
 
@@ -117,6 +120,26 @@ func main() {
 	}
 	if *predConf != 0 && (*predConf < 1 || *predConf > 3) {
 		fmt.Fprintln(os.Stderr, "-pred-conf must be in 1..3")
+		os.Exit(2)
+	}
+	opts.FleetScenario = *fleetScenario
+	opts.FleetClients = *fleetClients
+	if *fleetScenario != "" {
+		// Fail fast on unknown scenario names rather than deep in the sweep.
+		known := false
+		for _, s := range experiments.FleetScenarios() {
+			if s == *fleetScenario {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "-fleet-scenario: unknown scenario %q (have %v)\n", *fleetScenario, experiments.FleetScenarios())
+			os.Exit(2)
+		}
+	}
+	if *fleetClients < 0 {
+		fmt.Fprintln(os.Stderr, "-fleet-clients must be non-negative")
 		os.Exit(2)
 	}
 	if *verbose {

@@ -33,15 +33,17 @@ func renderIDs(t *testing.T, opts Options, ids []string) string {
 // rendered output is byte-for-byte the flat-storage output. fig6b exercises
 // the batched Cursor profile path, fig13 the scalar replay path through the
 // SMT model, table1 the measured characterization, figT1 the tiered-memory
-// sweep (post-L4 traffic driven into internal/mem), and figP1 the
-// replacement-policy grid (seeded BRRIP insertion under batched replay).
+// sweep (post-L4 traffic driven into internal/mem), figP1 the
+// replacement-policy grid (seeded BRRIP insertion under batched replay),
+// and figF1 the fleet-scale serving sweep, whose perf-model probe replays
+// the same recordings the storage backend holds.
 func TestCompressedReplayByteIdentical(t *testing.T) {
-	ids := []string{"table1", "fig6b", "fig13", "figT1", "figP1"}
+	ids := []string{"table1", "fig6b", "fig13", "figT1", "figP1", "figF1"}
 	if testing.Short() {
 		ids = []string{"fig6b", "fig13"}
 	} else if raceDetectorOn {
 		// Same race-mode time-budget trade as TestSameSeedByteIdenticalOutput.
-		ids = ids[:len(ids)-2]
+		ids = ids[:len(ids)-3]
 	}
 
 	base := Fast()

@@ -19,18 +19,21 @@ func TestSameSeedByteIdenticalOutput(t *testing.T) {
 	// model (fig13), the fault-injected serving tier (degraded), the
 	// tiered-memory sweeps (figT1/figT2), whose DRAM bank state and
 	// page-migration engine must replay identically under the parallel
-	// engine, and the policy/predictor sweeps (figP1/figP2), whose seeded
-	// BRRIP insertion and predictor tables must do the same.
-	ids := []string{"table1", "fig2a", "fig6b", "fig13", "degraded", "figT1", "figT2", "figP1", "figP2"}
+	// engine, the policy/predictor sweeps (figP1/figP2), whose seeded
+	// BRRIP insertion and predictor tables must do the same, and the
+	// fleet-scale serving sweeps (figF1/figF2), whose open-loop event
+	// engine and shared metrics registry must render identically however
+	// the points are scheduled.
+	ids := []string{"table1", "fig2a", "fig6b", "fig13", "degraded", "figT1", "figT2", "figP1", "figP2", "figF1", "figF2"}
 	if testing.Short() {
 		ids = []string{"table1", "fig13", "figP2"}
 	} else if raceDetectorOn {
-		// The tier and policy sweeps push this package past the default
-		// race-mode time budget (the seed id list alone is ~8 min under
-		// -race). Byte-identity does not depend on instrumentation, and
-		// the sweep engines' race coverage lives in the tier tests and
+		// The tier, policy, and fleet sweeps push this package past the
+		// default race-mode time budget (the seed id list alone is ~8 min
+		// under -race). Byte-identity does not depend on instrumentation,
+		// and the sweep engines' race coverage lives in the tier tests and
 		// TestSharingContextsConcurrent.
-		ids = ids[:len(ids)-4]
+		ids = ids[:len(ids)-6]
 	}
 
 	render := func(parallel bool) string {

@@ -71,6 +71,13 @@ type Options struct {
 	// PredConf, when positive, restricts figP2 to one confidence threshold
 	// in [1, 3] (cmd/searchsim -pred-conf).
 	PredConf int
+	// FleetScenario, when non-empty, restricts the fleet-scale serving
+	// sweep (figF1) to one scenario (see FleetScenarios; cmd/searchsim
+	// -fleet-scenario).
+	FleetScenario string
+	// FleetClients, when positive, overrides the modeled user population
+	// of the fleet-scale sweeps (figF1/figF2; cmd/searchsim -fleet-clients).
+	FleetClients int
 	// Verbose enables progress output via Logf.
 	Logf func(format string, args ...any)
 	// Tracer, when non-nil, collects distributed traces from experiments

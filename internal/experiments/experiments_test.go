@@ -23,6 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fleetprof",      // §II methodology: GWP-style sampled profiling
 		"figT1", "figT2", // tiered-memory extension (Mahar et al.)
 		"figP1", "figP2", // policy zoo + level predictor (Jaleel; Jalili & Erez)
+		"figF1", "figF2", // fleet-scale serving scenarios (event-driven engine)
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -93,7 +93,25 @@ func (t *TopK) Results() (docs []uint32, scores []float32) {
 	n := len(t.docs)
 	docs = make([]uint32, n)
 	scores = make([]float32, n)
-	for i := n - 1; i >= 0; i-- {
+	t.drainInto(docs, scores)
+	return docs, scores
+}
+
+// ResultsInto drains the kept results best-first into the caller's buffers
+// (whose lengths must be at least Len) and returns the result count. It is
+// the zero-allocation counterpart of Results, used by the serving tier's
+// pooled merge path. The ordering is identical to Results.
+func (t *TopK) ResultsInto(docs []uint32, scores []float32) int {
+	n := len(t.docs)
+	if len(docs) < n || len(scores) < n {
+		panic("search: ResultsInto buffers smaller than Len")
+	}
+	t.drainInto(docs, scores)
+	return n
+}
+
+func (t *TopK) drainInto(docs []uint32, scores []float32) {
+	for i := len(t.docs) - 1; i >= 0; i-- {
 		docs[i], scores[i] = t.docs[0], t.scores[0]
 		last := len(t.docs) - 1
 		t.swap(0, last)
@@ -101,5 +119,4 @@ func (t *TopK) Results() (docs []uint32, scores []float32) {
 		t.scores = t.scores[:last]
 		t.down(0)
 	}
-	return docs, scores
 }

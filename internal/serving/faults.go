@@ -2,6 +2,7 @@ package serving
 
 import (
 	"errors"
+	"sync/atomic"
 
 	"searchmem/internal/stats"
 )
@@ -40,26 +41,43 @@ type FaultyExecutor struct {
 	FlapLatencyNS float64
 	// Seed decorrelates fault streams between shards.
 	Seed uint64
+
+	// down marks the shard administratively unavailable: every call fails
+	// fast at the flap latency, without consuming any fault draws, until
+	// SetDown(false). Fleet scenarios use it for correlated outage windows.
+	down atomic.Bool
 }
 
-// callRNG derives the per-call fault stream from (Seed, terms).
-func (f *FaultyExecutor) callRNG(terms []uint32) *stats.RNG {
+// SetDown implements OutageExecutor: it marks the shard down (or back up)
+// for all subsequent calls, from any goroutine.
+func (f *FaultyExecutor) SetDown(down bool) { f.down.Store(down) }
+
+// callSeed derives the per-call fault-stream seed from (Seed, terms).
+func (f *FaultyExecutor) callSeed(terms []uint32) uint64 {
 	h := f.Seed*0x9e3779b97f4a7c15 + 0x1234567
 	for _, t := range terms {
 		h = h*6364136223846793005 + uint64(t) + 1
 	}
-	return stats.NewRNG(h)
+	return h
+}
+
+// flapLatency is the fail-fast latency for flaps and outage windows.
+func (f *FaultyExecutor) flapLatency() float64 {
+	if f.FlapLatencyNS > 0 {
+		return f.FlapLatencyNS
+	}
+	return 1e5
 }
 
 // SearchErr implements FallibleExecutor.
 func (f *FaultyExecutor) SearchErr(terms []uint32) ([]uint32, []float32, float64, error) {
-	rng := f.callRNG(terms)
+	if f.down.Load() {
+		return nil, nil, f.flapLatency(), ErrInjectedFault
+	}
+	var rng stats.RNG
+	rng.Seed(f.callSeed(terms))
 	if rng.Bool(f.FlapProb) {
-		flap := f.FlapLatencyNS
-		if flap <= 0 {
-			flap = 1e5
-		}
-		return nil, nil, flap, ErrInjectedFault
+		return nil, nil, f.flapLatency(), ErrInjectedFault
 	}
 	docs, scores, lat := f.Inner.Search(terms)
 	if rng.Bool(f.SlowProb) {
@@ -73,6 +91,52 @@ func (f *FaultyExecutor) SearchErr(terms []uint32) ([]uint32, []float32, float64
 		return nil, nil, lat, ErrInjectedFault
 	}
 	return docs, scores, lat, nil
+}
+
+// SearchBuf implements BufferedExecutor: the same fault draws in the same
+// order as SearchErr (flap → inner call → slow → fail), with the inner
+// executor's results written into the caller's buffers when it is buffered
+// too, and copied otherwise. The fault stream derives from (Seed, terms)
+// through a stack-allocated RNG, so the call is allocation-free.
+func (f *FaultyExecutor) SearchBuf(terms []uint32, docs []uint32, scores []float32) (int, float64, error) {
+	if f.down.Load() {
+		return 0, f.flapLatency(), ErrInjectedFault
+	}
+	var rng stats.RNG
+	rng.Seed(f.callSeed(terms))
+	if rng.Bool(f.FlapProb) {
+		return 0, f.flapLatency(), ErrInjectedFault
+	}
+	var n int
+	var lat float64
+	if be, ok := f.Inner.(BufferedExecutor); ok {
+		var err error
+		n, lat, err = be.SearchBuf(terms, docs, scores)
+		if err != nil {
+			// Keep the draw order identical to SearchErr even on an inner
+			// failure (Search has no error channel, so SearchErr always
+			// draws slow and fail after the inner call).
+			rng.Bool(f.SlowProb)
+			rng.Bool(f.FailProb)
+			return 0, lat, err
+		}
+	} else {
+		d, s, l := f.Inner.Search(terms)
+		n = copy(docs, d)
+		copy(scores, s)
+		lat = l
+	}
+	if rng.Bool(f.SlowProb) {
+		factor := f.SlowFactor
+		if factor <= 0 {
+			factor = 4
+		}
+		lat *= factor
+	}
+	if rng.Bool(f.FailProb) {
+		return 0, lat, ErrInjectedFault
+	}
+	return n, lat, nil
 }
 
 // Search implements Executor; failures surface as empty results.

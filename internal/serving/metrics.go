@@ -72,7 +72,13 @@ func (e *mergeEvents) observe(o *leafOutcome) {
 	if o.timedOut {
 		e.timeouts++
 	}
-	e.attemptLatenciesNS = append(e.attemptLatenciesNS, o.attemptLatenciesNS...)
+	e.attemptLatenciesNS = append(e.attemptLatenciesNS, o.attemptLatNS[:o.attempts]...)
+}
+
+// reset clears the record for reuse, keeping the latency slice's capacity —
+// the serial serve path reuses one mergeEvents across queries.
+func (e *mergeEvents) reset() {
+	*e = mergeEvents{attemptLatenciesNS: e.attemptLatenciesNS[:0]}
 }
 
 func (e *mergeEvents) add(o mergeEvents) {

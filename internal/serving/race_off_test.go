@@ -1,0 +1,6 @@
+//go:build !race
+
+package serving
+
+// raceDetectorOn reports whether the test binary was built with -race.
+const raceDetectorOn = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package serving
+
+// raceDetectorOn reports whether the test binary was built with -race.
+// The scan-engine equivalence test caps its client count under -race: the
+// reference scan driver is O(clients) per query, and the detector's
+// slowdown turns the 10k-client case into minutes without adding race
+// coverage (the engine itself is single-threaded in virtual time).
+const raceDetectorOn = true

@@ -308,13 +308,17 @@ func TestRaceFaultInjectedLoad(t *testing.T) {
 // goroutine-per-client driver drew per-executor jitter RNGs in scheduling
 // order, so hedge counts drifted run to run under -race.
 func TestRunLoadDeterministic(t *testing.T) {
-	for _, clients := range []int{1, 8} {
+	for _, clients := range []int{1, 8, 10000} {
+		qpc := 300
+		if clients >= 10000 {
+			qpc = 2 // same total-order property, scale-stressed heap
+		}
 		run := func() (LoadStats, Metrics) {
 			cfg := DefaultConfig()
 			cfg.LeafDeadlineNS = 8e6
 			cfg.HedgeDelayNS = 4e6
 			cl := faultyCluster(cfg, 12, 11)
-			st := RunLoad(cl, clients, 300, 400, 1.1, 9)
+			st := RunLoad(cl, clients, qpc, 400, 1.1, 9)
 			return st, cl.Metrics()
 		}
 		a, am := run()

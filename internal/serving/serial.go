@@ -1,0 +1,238 @@
+package serving
+
+import "searchmem/internal/search"
+
+// serveScratch holds every buffer the serial serve path needs, preallocated
+// once per cluster and reused query to query. It is owned by the
+// single-driver loops (RunLoad / RunScenario) under Cluster.driveMu; the
+// concurrent Serve path never touches it. Sizes derive from the config:
+// fan-out buffers cover the widest parent, result buffers cover TopK.
+type serveScratch struct {
+	prim, hedges []attempt // per-leaf attempt slots
+	hedgeAt      []float64
+	outs         []leafOutcome
+	primDocs     [][]uint32 // per-leaf primary result buffers (TopK each)
+	primScores   [][]float32
+	hedgeDocs    [][]uint32 // per-leaf hedge result buffers
+	hedgeScores  [][]float32
+	bdocs        []uint32 // branch-merge drain (one parent at a time)
+	bscores      []float32
+	docs         []uint32 // root-merge drain
+	scores       []float32
+	cdocs        []uint32 // cache-hit copy buffers
+	cscores      []float32
+	tk, rootTK   *search.TopK
+	seen         map[uint32]struct{} // hedge-win dedup, cleared per use
+	events       mergeEvents
+}
+
+func newServeScratch(cfg Config) *serveScratch {
+	f := cfg.Fanout
+	if cfg.Leaves < f {
+		f = cfg.Leaves
+	}
+	k := cfg.TopK
+	s := &serveScratch{
+		prim:        make([]attempt, f),
+		hedges:      make([]attempt, f),
+		hedgeAt:     make([]float64, f),
+		outs:        make([]leafOutcome, f),
+		primDocs:    make([][]uint32, f),
+		primScores:  make([][]float32, f),
+		hedgeDocs:   make([][]uint32, f),
+		hedgeScores: make([][]float32, f),
+		bdocs:       make([]uint32, k),
+		bscores:     make([]float32, k),
+		docs:        make([]uint32, k),
+		scores:      make([]float32, k),
+		cdocs:       make([]uint32, 0, k),
+		cscores:     make([]float32, 0, k),
+		tk:          search.NewTopK(k),
+		rootTK:      search.NewTopK(k),
+		seen:        make(map[uint32]struct{}, f*k),
+		events:      mergeEvents{attemptLatenciesNS: make([]float64, 0, 2*cfg.Leaves)},
+	}
+	docBack := make([]uint32, 2*f*k)
+	scoreBack := make([]float32, 2*f*k)
+	for i := 0; i < f; i++ {
+		s.primDocs[i] = docBack[i*k : (i+1)*k]
+		s.primScores[i] = scoreBack[i*k : (i+1)*k]
+		s.hedgeDocs[i] = docBack[(f+i)*k : (f+i+1)*k]
+		s.hedgeScores[i] = scoreBack[(f+i)*k : (f+i+1)*k]
+	}
+	return s
+}
+
+// ensureScratch lazily builds the scratch; callers must hold driveMu.
+func (c *Cluster) ensureScratch() {
+	if c.scratch == nil {
+		c.scratch = newServeScratch(c.cfg)
+	}
+}
+
+// fanOutSerial is fanOutLeaves without goroutines, writing into scratch.
+// Per executor, the call order matches the concurrent phases exactly —
+// primaries in leaf order, then hedges in leaf order, each executor called
+// at most once per phase (a leaf's hedge goes to its own distinct sibling)
+// — so executors with internal RNG state draw the same sequences and the
+// resolved outcomes are identical to fanOutLeaves's.
+func (c *Cluster) fanOutSerial(p *parent, terms []uint32, congestion float64, s *serveScratch) []leafOutcome {
+	deadline, hedgeDelay := c.cfg.LeafDeadlineNS, c.cfg.HedgeDelayNS
+	n := len(p.leaves)
+
+	prim := s.prim[:n]
+	for li := range p.leaves {
+		a := &prim[li]
+		a.docs, a.scores, a.lat, a.err = searchLeafBuf(p.leaves[li].exec, terms, s.primDocs[li], s.primScores[li])
+	}
+
+	hedgeAt := s.hedgeAt[:n]
+	hedges := s.hedges[:n]
+	for li := range p.leaves {
+		hedgeAt[li] = -1
+		if hedgeDelay <= 0 || n < 2 {
+			continue
+		}
+		arrival := prim[li].lat * congestion
+		issueAt := -1.0
+		if prim[li].err != nil {
+			issueAt = arrival
+		} else if arrival > hedgeDelay {
+			issueAt = hedgeDelay
+		}
+		if issueAt >= 0 && (deadline == 0 || issueAt < deadline) {
+			hedgeAt[li] = issueAt
+			a := &hedges[li]
+			a.docs, a.scores, a.lat, a.err = searchLeafBuf(p.leaves[(li+1)%n].exec, terms, s.hedgeDocs[li], s.hedgeScores[li])
+		}
+	}
+
+	outs := s.outs[:n]
+	resolveOutcomes(p, prim, hedges, hedgeAt, congestion, deadline, outs)
+	return outs
+}
+
+// serveSerial is Serve on the preallocated scratch path: the same latency
+// model, merges, counters, and metrics, with zero allocations per query
+// (enforced by the ZeroAlloc oracle in alloc_test.go). Callers must hold
+// driveMu; the returned Result's slices alias the scratch and are valid
+// only until the next serveSerial call. Traced clusters fall back to the
+// concurrent Serve — results are identical, and tracing needs the retained
+// per-leaf outcome slices that path builds.
+func (c *Cluster) serveSerial(terms []uint32) Result {
+	if c.cfg.Tracer != nil {
+		return c.Serve(Query{Terms: terms})
+	}
+	s := c.scratch
+
+	c.mu.Lock()
+	c.Queries++
+	c.inflight++
+	congestion := 1.0
+	if c.cfg.LeafCapacity > 0 {
+		rho := float64(c.inflight) / float64(c.cfg.LeafCapacity)
+		if rho > 0.95 {
+			rho = 0.95
+		}
+		congestion = 1 / (1 - rho)
+	}
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+	}()
+
+	lat := c.cfg.FrontendOverheadNS
+	tag := cacheTag(terms)
+	probed := false
+	if c.cache != nil {
+		probed = true
+		if c.cache.getInto(tag, &s.cdocs, &s.cscores) {
+			c.mu.Lock()
+			c.CacheHits++
+			c.mu.Unlock()
+			c.metrics.recordCacheHit(c.cfg.FrontendOverheadNS, c.cfg.NetworkHopNS)
+			// The Result aliasing the scratch buffers is serveSerial's
+			// documented contract (valid until the next call on this
+			// cluster); copying here would put an allocation on the
+			// zero-alloc event path.
+			//lint:ignore aliasret serveSerial results alias per-cluster scratch by contract; callers must consume before the next call
+			return Result{Docs: s.cdocs, Scores: s.cscores, FromCache: true, LatencyNS: lat + c.cfg.NetworkHopNS}
+		}
+		lat += c.cfg.NetworkHopNS // cache miss probe
+	}
+	lat += c.cfg.RootOverheadNS
+
+	// Parents run one after another (virtual time makes concurrency a
+	// modeling question, not an execution one): each branch merges in leaf
+	// order into the branch selector, then feeds the root selector, in the
+	// same order Serve pushes branch results after its barrier.
+	s.events.reset()
+	s.rootTK.Reset()
+	var worst float64
+	partial := false
+	answered := 0
+	for _, p := range c.parents {
+		outs := c.fanOutSerial(p, terms, congestion, s)
+
+		var seen map[uint32]struct{}
+		for i := range outs {
+			if outs[i].hedgeWon {
+				clear(s.seen)
+				seen = s.seen
+				break
+			}
+		}
+		s.tk.Reset()
+		var wait float64
+		bpartial := false
+		banswered := 0
+		for i := range outs {
+			o := &outs[i]
+			if o.waitNS > wait {
+				wait = o.waitNS
+			}
+			s.events.observe(o)
+			if !o.answered {
+				bpartial = true
+				continue
+			}
+			banswered++
+			for j := range o.docs {
+				// Disambiguate doc ids across shards.
+				id := o.docs[j]*uint32(c.cfg.Leaves) + uint32(o.srcLeaf)
+				if seen != nil {
+					if _, dup := seen[id]; dup {
+						continue
+					}
+					seen[id] = struct{}{}
+				}
+				s.tk.Push(id, o.scores[j])
+			}
+		}
+		bn := s.tk.ResultsInto(s.bdocs, s.bscores)
+		blat := wait + 2*c.cfg.NetworkHopNS
+		if blat > worst {
+			worst = blat
+		}
+		partial = partial || bpartial
+		answered += banswered
+		for j := 0; j < bn; j++ {
+			s.rootTK.Push(s.bdocs[j], s.bscores[j])
+		}
+	}
+
+	n := s.rootTK.ResultsInto(s.docs, s.scores)
+	lat += worst + 2*c.cfg.NetworkHopNS
+	docs, scores := s.docs[:n], s.scores[:n]
+
+	// Degraded merges are never cached: a later identical query should get
+	// another chance at a full answer, not a pinned partial one.
+	if c.cache != nil && !partial {
+		c.cache.put(tag, docs, scores)
+	}
+	c.metrics.recordServe(c.cfg.FrontendOverheadNS, probed, c.cfg.NetworkHopNS,
+		worst+2*c.cfg.NetworkHopNS, s.events, partial)
+	return Result{Docs: docs, Scores: scores, LatencyNS: lat, Partial: partial, LeavesAnswered: answered}
+}

@@ -67,6 +67,24 @@ type FallibleExecutor interface {
 	SearchErr(terms []uint32) (docs []uint32, scores []float32, latencyNS float64, err error)
 }
 
+// BufferedExecutor is an optional Executor extension for allocation-free
+// serving: SearchBuf evaluates the query into the caller's buffers (whose
+// lengths must be at least the executor's result size) and returns the
+// result count. Results, latencies, and any internal RNG draw sequence must
+// be identical to Search/SearchErr on the same call sequence. The fleet
+// load engine (RunLoad / RunScenario) uses it on the serial serve path;
+// executors without it are called through Search and their results copied.
+type BufferedExecutor interface {
+	SearchBuf(terms []uint32, docs []uint32, scores []float32) (n int, latencyNS float64, err error)
+}
+
+// OutageExecutor is an Executor that can be administratively marked down
+// and up again — the hook fleet scenarios use for correlated leaf-failure
+// windows (rack loss, rolling restarts). See FaultyExecutor.SetDown.
+type OutageExecutor interface {
+	SetDown(down bool)
+}
+
 // searchLeaf dispatches to the fallible interface when available.
 func searchLeaf(exec Executor, terms []uint32) ([]uint32, []float32, float64, error) {
 	if fe, ok := exec.(FallibleExecutor); ok {
@@ -74,6 +92,18 @@ func searchLeaf(exec Executor, terms []uint32) ([]uint32, []float32, float64, er
 	}
 	docs, scores, lat := exec.Search(terms)
 	return docs, scores, lat, nil
+}
+
+// searchLeafBuf is searchLeaf for the pooled serial path: buffered
+// executors write straight into the caller's arrays, others fall back to
+// the allocating interfaces (their result slices are returned as-is; the
+// caller's buffers are then unused).
+func searchLeafBuf(exec Executor, terms []uint32, docs []uint32, scores []float32) ([]uint32, []float32, float64, error) {
+	if be, ok := exec.(BufferedExecutor); ok {
+		n, lat, err := be.SearchBuf(terms, docs, scores)
+		return docs[:n], scores[:n], lat, err
+	}
+	return searchLeaf(exec, terms)
 }
 
 // SyntheticExecutor is a deterministic stand-in for a real leaf engine:
@@ -89,6 +119,7 @@ type SyntheticExecutor struct {
 
 	mu  sync.Mutex
 	rng *stats.RNG
+	tk  *search.TopK // reused by SearchBuf, guarded by mu
 }
 
 // NewSyntheticExecutor returns an executor for the given shard.
@@ -102,14 +133,13 @@ func NewSyntheticExecutor(shardID uint32, topK int) *SyntheticExecutor {
 	}
 }
 
-// Search implements Executor.
-func (e *SyntheticExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
-	tk := search.NewTopK(e.TopK)
+// fill pushes the deterministic pseudo-results for terms: k docs scored by
+// a hash chain over (shard, terms).
+func (e *SyntheticExecutor) fill(tk *search.TopK, terms []uint32) {
 	h := uint64(e.ShardID)*2654435761 + 1
 	for _, t := range terms {
 		h = h*6364136223846793005 + uint64(t)
 	}
-	// Deterministic pseudo-results: k docs scored by a hash chain.
 	x := h
 	for i := 0; i < e.TopK*4; i++ {
 		x ^= x << 13
@@ -119,6 +149,12 @@ func (e *SyntheticExecutor) Search(terms []uint32) ([]uint32, []float32, float64
 		score := float32(x%10_000) / 100
 		tk.Push(doc, score)
 	}
+}
+
+// Search implements Executor.
+func (e *SyntheticExecutor) Search(terms []uint32) ([]uint32, []float32, float64) {
+	tk := search.NewTopK(e.TopK)
+	e.fill(tk, terms)
 	docs, scores := tk.Results()
 
 	e.mu.Lock()
@@ -126,6 +162,24 @@ func (e *SyntheticExecutor) Search(terms []uint32) ([]uint32, []float32, float64
 	e.mu.Unlock()
 	lat := e.BaseLatencyNS + float64(len(terms))*e.PerTermNS + jitter
 	return docs, scores, lat
+}
+
+// SearchBuf implements BufferedExecutor: identical results and jitter draw
+// sequence to Search, written into the caller's buffers via an internal
+// reusable selector, with no allocation after the first call.
+func (e *SyntheticExecutor) SearchBuf(terms []uint32, docs []uint32, scores []float32) (int, float64, error) {
+	e.mu.Lock()
+	if e.tk == nil {
+		e.tk = search.NewTopK(e.TopK)
+	} else {
+		e.tk.Reset()
+	}
+	e.fill(e.tk, terms)
+	n := e.tk.ResultsInto(docs, scores)
+	jitter := e.rng.Exponential(0.15 * e.BaseLatencyNS)
+	e.mu.Unlock()
+	lat := e.BaseLatencyNS + float64(len(terms))*e.PerTermNS + jitter
+	return n, lat, nil
 }
 
 // EngineExecutor adapts a real search.Session to the Executor interface.
@@ -245,9 +299,16 @@ type parent struct {
 type Cluster struct {
 	cfg     Config
 	parents []*parent
+	leaves  []*leaf // flat view in shard order, for outage injection
 	cache   *cacheServer
 	metrics *clusterMetrics
 	reg     *obs.Registry
+
+	// driveMu serializes the single-driver loops (RunLoad, RunScenario),
+	// which share the preallocated scratch below; the concurrent Serve path
+	// never touches either.
+	driveMu sync.Mutex
+	scratch *serveScratch
 
 	mu sync.Mutex
 	// Queries and CacheHits count served requests.
@@ -285,9 +346,33 @@ func NewCluster(cfg Config, executors []Executor) *Cluster {
 		} else {
 			exec = NewSyntheticExecutor(uint32(i), cfg.TopK)
 		}
-		cur.leaves = append(cur.leaves, &leaf{id: i, exec: exec})
+		lf := &leaf{id: i, exec: exec}
+		cur.leaves = append(cur.leaves, lf)
+		c.leaves = append(c.leaves, lf)
 	}
 	return c
+}
+
+// SetLeafDown marks leaf's executor administratively down (or back up) when
+// it supports outage injection, reporting whether it did. Fleet scenario
+// timelines use this for correlated leaf-failure windows.
+func (c *Cluster) SetLeafDown(leafID int, down bool) bool {
+	if leafID < 0 || leafID >= len(c.leaves) {
+		return false
+	}
+	o, ok := c.leaves[leafID].exec.(OutageExecutor)
+	if ok {
+		o.SetDown(down)
+	}
+	return ok
+}
+
+// FlushCache empties the cache tier in place — a shard-reload / cold-restart
+// event. No-op when the cache tier is disabled.
+func (c *Cluster) FlushCache() {
+	if c.cache != nil {
+		c.cache.flush()
+	}
 }
 
 // Config returns the cluster configuration.
@@ -315,9 +400,13 @@ type leafOutcome struct {
 	// hedged/hedgeWon/failed/timedOut feed the metrics registry. failed
 	// marks a failed primary attempt even when the hedge recovered it;
 	// timedOut marks a leaf dropped at the deadline.
-	hedged, hedgeWon   bool
-	failed, timedOut   bool
-	attemptLatenciesNS []float64
+	hedged, hedgeWon bool
+	failed, timedOut bool
+	// attemptLatNS[:attempts] are the raw service latencies of the primary
+	// and (when issued) hedge attempts — a fixed array rather than a slice
+	// so outcome records carry no per-query allocations.
+	attemptLatNS [2]float64
+	attempts     int
 	// Trace-reconstruction timeline (virtual time from fan-out start):
 	// the primary shard and its arrival, and — when hedged — the retry's
 	// issue and arrival times plus the sibling shard it went to.
@@ -387,10 +476,22 @@ func (c *Cluster) fanOutLeaves(p *parent, terms []uint32, congestion float64) []
 	wg.Wait()
 
 	outs := make([]leafOutcome, n)
+	resolveOutcomes(p, prim, hedges, hedgeAt, congestion, deadline, outs)
+	return outs
+}
+
+// resolveOutcomes turns raw primary/hedge attempts into per-leaf outcomes
+// in virtual time. outs is caller-owned scratch, fully overwritten. The
+// logic is shared verbatim by the concurrent fan-out (Serve) and the serial
+// fan-out (serveSerial) so the two paths cannot drift.
+func resolveOutcomes(p *parent, prim, hedges []attempt, hedgeAt []float64, congestion, deadline float64, outs []leafOutcome) {
+	n := len(p.leaves)
 	for li := range p.leaves {
 		out := &outs[li]
+		*out = leafOutcome{}
 		out.srcLeaf = p.leaves[li].id
-		out.attemptLatenciesNS = append(out.attemptLatenciesNS, prim[li].lat)
+		out.attemptLatNS[0] = prim[li].lat
+		out.attempts = 1
 		docs, scores := prim[li].docs, prim[li].scores
 		arrival := prim[li].lat * congestion
 		ok := prim[li].err == nil
@@ -402,7 +503,8 @@ func (c *Cluster) fanOutLeaves(p *parent, terms []uint32, congestion float64) []
 
 		if hedgeAt[li] >= 0 {
 			h := hedges[li]
-			out.attemptLatenciesNS = append(out.attemptLatenciesNS, h.lat)
+			out.attemptLatNS[1] = h.lat
+			out.attempts = 2
 			out.hedged = true
 			hArrival := hedgeAt[li] + h.lat*congestion
 			out.hedgeIssuedNS = hedgeAt[li]
@@ -433,7 +535,6 @@ func (c *Cluster) fanOutLeaves(p *parent, terms []uint32, congestion float64) []
 			out.arrivalNS, out.waitNS = arrival, arrival
 		}
 	}
-	return outs
 }
 
 // Serve runs one query through the full tree and returns the merged result
@@ -674,11 +775,21 @@ func cacheTag(terms []uint32) uint64 {
 // Entries are defensively copied on both put and get: callers own the
 // slices in a Result and may mutate them, and a cached entry must survive
 // that (see TestCacheEntriesImmuneToCallerMutation).
+//
+// Eviction order lives in a fixed-capacity ring buffer (head/count over a
+// slots-sized array). The previous slice queue — `order = order[1:]` plus
+// append — slid a window through its backing array and re-allocated it
+// every few evictions, so a long churny run paid an allocation and a copy
+// of the whole queue per handful of inserts. The ring never re-allocates,
+// and evicted entries are recycled into the next insert, so a full cache
+// under churn runs at a zero-allocation steady state.
 type cacheServer struct {
 	mu    sync.Mutex
 	slots int
 	data  map[uint64]*cacheEntry
-	order []uint64 // FIFO eviction order (clock-less approximation of LRU)
+	order []uint64 // FIFO eviction ring (clock-less approximation of LRU)
+	head  int      // ring index of the oldest entry
+	count int      // live entries (== len(data))
 }
 
 type cacheEntry struct {
@@ -687,7 +798,11 @@ type cacheEntry struct {
 }
 
 func newCacheServer(slots int) *cacheServer {
-	return &cacheServer{slots: slots, data: make(map[uint64]*cacheEntry, slots)}
+	return &cacheServer{
+		slots: slots,
+		data:  make(map[uint64]*cacheEntry, slots),
+		order: make([]uint64, slots),
+	}
 }
 
 func (s *cacheServer) get(tag uint64) ([]uint32, []float32, bool) {
@@ -700,24 +815,63 @@ func (s *cacheServer) get(tag uint64) ([]uint32, []float32, bool) {
 	return append([]uint32(nil), e.docs...), append([]float32(nil), e.scores...), true
 }
 
-func (s *cacheServer) put(tag uint64, docs []uint32, scores []float32) {
-	e := &cacheEntry{
-		docs:   append([]uint32(nil), docs...),
-		scores: append([]float32(nil), scores...),
-	}
+// getInto copies the entry for tag into the caller's buffers (reusing their
+// capacity) and reports whether it was present — the zero-allocation
+// counterpart of get, used by the pooled serial serve path.
+func (s *cacheServer) getInto(tag uint64, docs *[]uint32, scores *[]float32) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.data[tag]; exists {
-		s.data[tag] = e
+	e, ok := s.data[tag]
+	if !ok {
+		return false
+	}
+	*docs = append((*docs)[:0], e.docs...)
+	*scores = append((*scores)[:0], e.scores...)
+	return true
+}
+
+func (s *cacheServer) put(tag uint64, docs []uint32, scores []float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, exists := s.data[tag]; exists {
+		// Same defensive-copy contract, reusing the entry's storage; the
+		// FIFO position is unchanged, as before.
+		e.docs = append(e.docs[:0], docs...)
+		e.scores = append(e.scores[:0], scores...)
 		return
 	}
-	for len(s.data) >= s.slots && len(s.order) > 0 {
-		victim := s.order[0]
-		s.order = s.order[1:]
+	var e *cacheEntry
+	for s.count >= s.slots && s.count > 0 {
+		victim := s.order[s.head]
+		s.head++
+		if s.head == s.slots {
+			s.head = 0
+		}
+		s.count--
+		e = s.data[victim] // recycle the victim's storage for the insert
 		delete(s.data, victim)
 	}
+	if e == nil {
+		e = &cacheEntry{}
+	}
+	e.docs = append(e.docs[:0], docs...)
+	e.scores = append(e.scores[:0], scores...)
 	s.data[tag] = e
-	s.order = append(s.order, tag)
+	tail := s.head + s.count
+	if tail >= s.slots {
+		tail -= s.slots
+	}
+	s.order[tail] = tag
+	s.count++
+}
+
+// flush empties the cache in place, keeping the map's storage — the
+// shard-reload / cold-restart event of fleet scenarios.
+func (s *cacheServer) flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clear(s.data)
+	s.head, s.count = 0, 0
 }
 
 // LoadStats summarizes a load-generation run.
@@ -730,79 +884,7 @@ type LoadStats struct {
 	// MeanLatencyNS, P50, P95 and P99 describe the virtual latency
 	// distribution.
 	MeanLatencyNS, P50NS, P95NS, P99NS float64
-	// QPS is modeled closed-loop throughput: clients / mean latency.
+	// QPS is modeled throughput: clients / mean latency for closed loops,
+	// served queries / virtual duration for open-loop scenarios.
 	QPS float64
-}
-
-// RunLoad drives the cluster with a closed-loop load of clients issuing
-// queries drawn Zipf-popular from vocabSize (popular queries repeat, which
-// is what makes the cache tier effective). The closed loop runs in virtual
-// time: every client always has exactly one query in flight (zero think
-// time), so queries are issued one at a time in virtual-completion order
-// and the cluster is told the standing occupancy is `clients`. The query
-// interleaving — and with it every executor's service-jitter RNG draw
-// sequence — is therefore a pure function of the seed, never of goroutine
-// scheduling, for any client count (DESIGN.md §8).
-func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64, seed uint64) LoadStats {
-	if clients <= 0 || queriesPerClient <= 0 || vocabSize <= 0 {
-		panic("serving: load parameters must be positive")
-	}
-	hist := stats.NewHistogram(8)
-	var partials int64
-	type client struct {
-		qsel   *stats.Zipf
-		nextNS float64 // virtual time at which the client's next query issues
-		issued int
-	}
-	cls := make([]client, clients)
-	for cl := range cls {
-		rng := stats.NewRNG(seed + uint64(cl)*977)
-		// Query popularity: a Zipf over "canned" query ids expanded
-		// into term tuples, modeling repeated popular queries.
-		cls[cl].qsel = stats.NewZipf(rng.Split(), uint64(vocabSize), skew)
-	}
-	// Serve charges congestion from the live in-flight count; park the
-	// other clients' standing queries there so each sequential call sees
-	// the full closed-loop occupancy.
-	c.mu.Lock()
-	c.inflight = int64(clients) - 1
-	c.mu.Unlock()
-	for done := 0; done < clients*queriesPerClient; done++ {
-		cl := -1
-		for i := range cls {
-			if cls[i].issued >= queriesPerClient {
-				continue
-			}
-			if cl < 0 || cls[i].nextNS < cls[cl].nextNS {
-				cl = i
-			}
-		}
-		qid := cls[cl].qsel.Next()
-		terms := []uint32{uint32(qid), uint32(qid>>3) % uint32(vocabSize)}
-		r := c.Serve(Query{Terms: terms})
-		hist.Add(r.LatencyNS)
-		if r.Partial {
-			partials++
-		}
-		cls[cl].nextNS += r.LatencyNS
-		cls[cl].issued++
-	}
-	c.mu.Lock()
-	c.inflight = 0
-	c.mu.Unlock()
-
-	mean := hist.Mean()
-	st := LoadStats{
-		Queries:        c.Queries,
-		CacheHits:      c.CacheHits,
-		PartialResults: partials,
-		MeanLatencyNS:  mean,
-		P50NS:          hist.Quantile(0.50),
-		P95NS:          hist.Quantile(0.95),
-		P99NS:          hist.Quantile(0.99),
-	}
-	if mean > 0 {
-		st.QPS = float64(clients) / (mean * 1e-9)
-	}
-	return st
 }

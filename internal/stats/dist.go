@@ -2,16 +2,15 @@ package stats
 
 import "math"
 
-// Zipf samples ranks in [0, N) with P(k) proportional to 1/(k+1)^S.
-//
-// Unlike math/rand's Zipf, this implementation supports any positive skew S,
-// including S <= 1, which is the regime reported for cache and web-access
-// popularity distributions. Sampling uses Hörmann's rejection-inversion for
-// the general case, with exact inversion fallbacks for tiny N.
-type Zipf struct {
-	rng *RNG
-	n   uint64
-	s   float64
+// ZipfShape holds the rank count, exponent, and rejection-inversion
+// constants of a Zipf distribution, independent of any RNG. One shape can be
+// shared by millions of samplers (e.g. one per simulated client) that differ
+// only in their random stream: Next draws from a caller-owned RNG and never
+// allocates, which is what lets the fleet load engine keep per-client state
+// as a flat RNG array instead of a *Zipf per client.
+type ZipfShape struct {
+	n uint64
+	s float64
 
 	// rejection-inversion precomputed constants
 	oneMinusS    float64
@@ -21,16 +20,16 @@ type Zipf struct {
 	sDiv         float64
 }
 
-// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+// NewZipfShape precomputes a shape over [0, n) with exponent s > 0.
 // It panics if n == 0 or s <= 0.
-func NewZipf(rng *RNG, n uint64, s float64) *Zipf {
+func NewZipfShape(n uint64, s float64) *ZipfShape {
 	if n == 0 {
-		panic("stats: NewZipf with n == 0")
+		panic("stats: NewZipfShape with n == 0")
 	}
 	if s <= 0 {
-		panic("stats: NewZipf with s <= 0")
+		panic("stats: NewZipfShape with s <= 0")
 	}
-	z := &Zipf{rng: rng, n: n, s: s}
+	z := &ZipfShape{n: n, s: s}
 	z.oneMinusS = 1 - s
 	z.oneOverOneMS = 1 / z.oneMinusS
 	z.hx0 = z.h(0.5) - math.Exp(-s*math.Log(1))
@@ -41,25 +40,28 @@ func NewZipf(rng *RNG, n uint64, s float64) *Zipf {
 
 // h is the integral of the density 1/x^s; hInv its inverse. The s == 1 case
 // degenerates to log, handled by a small epsilon shift for numerical safety.
-func (z *Zipf) h(x float64) float64 {
+func (z *ZipfShape) h(x float64) float64 {
 	if math.Abs(z.oneMinusS) < 1e-9 {
 		return math.Log(x)
 	}
 	return math.Exp(z.oneMinusS*math.Log(x)) * z.oneOverOneMS
 }
 
-func (z *Zipf) hInv(x float64) float64 {
+func (z *ZipfShape) hInv(x float64) float64 {
 	if math.Abs(z.oneMinusS) < 1e-9 {
 		return math.Exp(x)
 	}
 	return math.Exp(z.oneOverOneMS * math.Log(z.oneMinusS*x))
 }
 
-// Next returns the next sample in [0, n). Rank 0 is the most popular.
-func (z *Zipf) Next() uint64 {
+// Next returns the next sample in [0, n) drawn from rng. Rank 0 is the most
+// popular.
+//
+//lint:hot
+func (z *ZipfShape) Next(rng *RNG) uint64 {
 	// Hörmann & Derflinger rejection-inversion, adapted to 0-based ranks.
 	for {
-		u := z.hImaxPlus1 + z.rng.Float64()*(z.hx0-z.hImaxPlus1)
+		u := z.hImaxPlus1 + rng.Float64()*(z.hx0-z.hImaxPlus1)
 		x := z.hInv(u)
 		k := math.Floor(x + 0.5)
 		if k < 1 {
@@ -72,6 +74,30 @@ func (z *Zipf) Next() uint64 {
 			return uint64(k) - 1
 		}
 	}
+}
+
+// Zipf samples ranks in [0, N) with P(k) proportional to 1/(k+1)^S.
+//
+// Unlike math/rand's Zipf, this implementation supports any positive skew S,
+// including S <= 1, which is the regime reported for cache and web-access
+// popularity distributions. Sampling uses Hörmann's rejection-inversion for
+// the general case, with exact inversion fallbacks for tiny N. It is a thin
+// binding of a ZipfShape to an owned RNG; draw sequences are bit-identical
+// to calling shape.Next(rng) directly.
+type Zipf struct {
+	rng   *RNG
+	shape ZipfShape
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s > 0.
+// It panics if n == 0 or s <= 0.
+func NewZipf(rng *RNG, n uint64, s float64) *Zipf {
+	return &Zipf{rng: rng, shape: *NewZipfShape(n, s)}
+}
+
+// Next returns the next sample in [0, n). Rank 0 is the most popular.
+func (z *Zipf) Next() uint64 {
+	return z.shape.Next(z.rng)
 }
 
 // ZipfCDF is an exact, CDF-inversion Zipf sampler. It precomputes the full

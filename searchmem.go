@@ -325,6 +325,40 @@ type ClusterMetrics = serving.Metrics
 // fault injection for degradation studies.
 type FaultyExecutor = serving.FaultyExecutor
 
+// BufferedExecutor is the allocation-free leaf interface the fleet load
+// engine drives (results written into caller buffers).
+type BufferedExecutor = serving.BufferedExecutor
+
+// LoadStats summarizes a load-generation run.
+type LoadStats = serving.LoadStats
+
+// RunLoad drives a cluster with a closed-loop Zipf-popular load on the
+// event-heap engine, in deterministic virtual time.
+func RunLoad(c *Cluster, clients, queriesPerClient, vocabSize int, skew float64, seed uint64) LoadStats {
+	return serving.RunLoad(c, clients, queriesPerClient, vocabSize, skew, seed)
+}
+
+// Scenario describes one fleet load run: closed- or open-loop arrivals
+// plus an operational timeline (cache flushes, correlated outages).
+type Scenario = serving.Scenario
+
+// RateCurve is the open-loop arrival-rate model (diurnal cycle plus
+// flash-crowd bursts).
+type RateCurve = serving.RateCurve
+
+// Burst is one flash-crowd window on a RateCurve.
+type Burst = serving.Burst
+
+// FleetEvent is one scheduled operational event on a scenario timeline.
+type FleetEvent = serving.FleetEvent
+
+// FleetStats extends LoadStats with fleet-scenario accounting.
+type FleetStats = serving.FleetStats
+
+// RunScenario drives a cluster through one fleet scenario on the
+// event-driven engine (millions of modeled users in bounded memory).
+func RunScenario(c *Cluster, sc Scenario) FleetStats { return serving.RunScenario(c, sc) }
+
 // --- experiments ---
 
 // Options scales an experiment run.
